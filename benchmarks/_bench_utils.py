@@ -1,0 +1,35 @@
+"""Helpers shared by the benchmark files (see conftest.py for fixtures)."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.sim.simulator import Simulator
+from repro.workloads import get_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Instruction budget for the timed analysis sections.
+BENCH_LIMIT = 15_000
+
+
+def render_artifact(exp_id: str, results) -> str:
+    """Render one experiment and persist it under benchmarks/results/."""
+    exp = EXPERIMENTS[exp_id]
+    text = f"== {exp.paper_ref}: {exp.title} ==\n{exp.render(results)}\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text)
+    print("\n" + text)
+    return text
+
+
+def simulate_with(analyzer_factory, workload_name: str = "m88ksim", limit: int = BENCH_LIMIT):
+    """Benchmark body: run ``limit`` instructions with fresh analyzers."""
+    workload = get_workload(workload_name)
+    analyzers = analyzer_factory()
+    simulator = Simulator(
+        workload.program(), input_data=workload.primary_input(4), analyzers=analyzers
+    )
+    simulator.run(limit=limit)
+    return analyzers

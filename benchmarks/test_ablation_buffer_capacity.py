@@ -1,0 +1,50 @@
+"""Ablation: repetition-tracker buffer capacity (the paper fixes 2000).
+
+Section 3 buffers up to 2000 unique instances per static instruction;
+this sweep shows how much measured repetition a smaller instance buffer
+forfeits — the knob behind Figure 3's observation that instructions with
+hundreds of unique instances still contribute repetition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core import RepetitionTracker
+
+from _bench_utils import RESULTS_DIR, simulate_with
+
+CAPACITIES = [1, 4, 32, 256, 2000]
+
+_measured = {}
+
+
+def _run(capacity: int):
+    tracker = RepetitionTracker(capacity)
+    simulate_with(lambda: [tracker], "ijpeg", limit=25_000)
+    return tracker
+
+
+@pytest.mark.parametrize("capacity", CAPACITIES)
+def test_buffer_capacity(benchmark, capacity):
+    tracker = benchmark(_run, capacity)
+    report = tracker.report()
+    _measured[capacity] = report.dynamic_repeated_pct
+    assert 0.0 <= report.dynamic_repeated_pct <= 100.0
+
+
+def test_buffer_capacity_artifact(benchmark):
+    """More buffered instances can only expose more repetition."""
+    series = [_measured[c] for c in CAPACITIES]
+    assert series == sorted(series)
+    table = benchmark(
+        format_table,
+        ("Buffer capacity", "Dyn repeat %"),
+        [(c, _measured[c]) for c in CAPACITIES],
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_buffer_capacity.txt").write_text(
+        "== Ablation: instance-buffer capacity (ijpeg workload) ==\n" + table + "\n"
+    )
+    print("\n" + table)

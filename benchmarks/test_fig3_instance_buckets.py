@@ -1,0 +1,22 @@
+"""Benchmark + artifact for Figure 3: repetition by unique-repeatable-instance bucket.
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'ijpeg' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/fig3.txt``.
+"""
+
+from repro.core import RepetitionTracker
+
+from _bench_utils import render_artifact, simulate_with
+
+
+
+def test_fig3_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(lambda: [RepetitionTracker()], "ijpeg")
+        return analyzers[0].report().bucket_shares()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("fig3", suite_results)
+    assert "go" in artifact

@@ -1,0 +1,22 @@
+"""Benchmark + artifact for Figure 4: unique-instance coverage of dynamic repetition.
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'vortex' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/fig4.txt``.
+"""
+
+from repro.core import RepetitionTracker
+
+from _bench_utils import render_artifact, simulate_with
+
+
+
+def test_fig4_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(lambda: [RepetitionTracker()], "vortex")
+        return analyzers[0].report()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("fig4", suite_results)
+    assert "go" in artifact

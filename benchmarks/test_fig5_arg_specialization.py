@@ -1,0 +1,22 @@
+"""Benchmark + artifact for Figure 5: all-argument repetition covered by top-5 argument sets.
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'm88ksim' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/fig5.txt``.
+"""
+
+from repro.core import FunctionAnalyzer
+
+from _bench_utils import render_artifact, simulate_with
+
+
+
+def test_fig5_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(lambda: [FunctionAnalyzer()], "m88ksim")
+        return analyzers[0].report()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("fig5", suite_results)
+    assert "go" in artifact

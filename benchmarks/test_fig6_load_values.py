@@ -1,0 +1,22 @@
+"""Benchmark + artifact for Figure 6: global-load repetition covered by top-1..5 values.
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'compress' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/fig6.txt``.
+"""
+
+from repro.core import GlobalLoadValueProfiler
+
+from _bench_utils import render_artifact, simulate_with
+
+
+
+def test_fig6_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(lambda: [GlobalLoadValueProfiler()], "compress")
+        return analyzers[0].report()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("fig6", suite_results)
+    assert "go" in artifact

@@ -1,0 +1,22 @@
+"""Benchmark + artifact for Table 10: repetition captured by an 8K 4-way reuse buffer.
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'gcc' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/table10.txt``.
+"""
+
+from repro.core import ReuseBuffer
+
+from _bench_utils import render_artifact, simulate_with
+
+
+
+def test_table10_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(lambda: [ReuseBuffer()], "gcc")
+        return analyzers[0].report()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("table10", suite_results)
+    assert "go" in artifact

@@ -1,0 +1,22 @@
+"""Benchmark + artifact for Table 1: dynamic/static repetition percentages.
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'm88ksim' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/table1.txt``.
+"""
+
+from repro.core import RepetitionTracker
+
+from _bench_utils import render_artifact, simulate_with
+
+
+
+def test_table1_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(lambda: [RepetitionTracker()], "m88ksim")
+        return analyzers[0].report()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("table1", suite_results)
+    assert "go" in artifact

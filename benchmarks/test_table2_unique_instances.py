@@ -1,0 +1,22 @@
+"""Benchmark + artifact for Table 2: unique repeatable instances and average repeats.
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'perl' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/table2.txt``.
+"""
+
+from repro.core import RepetitionTracker
+
+from _bench_utils import render_artifact, simulate_with
+
+
+
+def test_table2_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(lambda: [RepetitionTracker()], "perl")
+        return analyzers[0].report()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("table2", suite_results)
+    assert "go" in artifact

@@ -1,0 +1,25 @@
+"""Benchmark + artifact for Table 3: global source-slice analysis (overall/repeated/propensity).
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'gcc' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/table3.txt``.
+"""
+
+from repro.core import GlobalSourceAnalyzer, RepetitionTracker
+
+from _bench_utils import render_artifact, simulate_with
+
+def _global_stack():
+    tracker = RepetitionTracker()
+    return [tracker, GlobalSourceAnalyzer(tracker)]
+
+
+def test_table3_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(_global_stack, "gcc")
+        return analyzers[1].report()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("table3", suite_results)
+    assert "go" in artifact

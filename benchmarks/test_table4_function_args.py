@@ -1,0 +1,22 @@
+"""Benchmark + artifact for Table 4: function argument repetition.
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'vortex' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/table4.txt``.
+"""
+
+from repro.core import FunctionAnalyzer
+
+from _bench_utils import render_artifact, simulate_with
+
+
+
+def test_table4_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(lambda: [FunctionAnalyzer()], "vortex")
+        return analyzers[0].report()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("table4", suite_results)
+    assert "go" in artifact

@@ -1,0 +1,25 @@
+"""Benchmark + artifact for Table 5: local analysis, share of all dynamic instructions.
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'li' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/table5.txt``.
+"""
+
+from repro.core import LocalAnalyzer, RepetitionTracker
+
+from _bench_utils import render_artifact, simulate_with
+
+def _local_stack():
+    tracker = RepetitionTracker()
+    return [tracker, LocalAnalyzer(tracker)]
+
+
+def test_table5_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(_local_stack, "li")
+        return analyzers[1].report()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("table5", suite_results)
+    assert "go" in artifact

@@ -1,0 +1,25 @@
+"""Benchmark + artifact for Table 6: local analysis, share of repeated instructions.
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'go' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/table6.txt``.
+"""
+
+from repro.core import LocalAnalyzer, RepetitionTracker
+
+from _bench_utils import render_artifact, simulate_with
+
+def _local_stack():
+    tracker = RepetitionTracker()
+    return [tracker, LocalAnalyzer(tracker)]
+
+
+def test_table6_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(_local_stack, "go")
+        return analyzers[1].report()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("table6", suite_results)
+    assert "go" in artifact

@@ -1,0 +1,25 @@
+"""Benchmark + artifact for Table 9: top-5 prologue/epilogue contributor functions.
+
+The timed section runs the analysis stack that produces this artifact
+over a bounded slice of the 'vortex' workload; the artifact itself is
+rendered from the shared full-suite results and written to
+``benchmarks/results/table9.txt``.
+"""
+
+from repro.core import LocalAnalyzer, RepetitionTracker
+
+from _bench_utils import render_artifact, simulate_with
+
+def _local_stack():
+    tracker = RepetitionTracker()
+    return [tracker, LocalAnalyzer(tracker)]
+
+
+def test_table9_benchmark(benchmark, suite_results):
+    def run_analysis():
+        analyzers = simulate_with(_local_stack, "vortex")
+        return analyzers[1].report().top_prologue_contributors()
+
+    benchmark(run_analysis)
+    artifact = render_artifact("table9", suite_results)
+    assert "coverage=" in artifact

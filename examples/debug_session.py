@@ -1,0 +1,54 @@
+"""Scripted debugging session: breakpoints, watchpoints, backtraces.
+
+Walks the LZW-style compress workload under the debugger: break at the
+code-emission function, watch the table-entry counter, and inspect
+arguments and machine state at each stop — the inspection workflow the
+pause/resume simulator core enables.
+
+Run:  python examples/debug_session.py
+"""
+
+from repro.sim.debug import Debugger
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("compress")
+    program = workload.program()
+    debugger = Debugger(program, input_data=workload.primary_input(1))
+
+    emit_pc = debugger.add_breakpoint("emit_code")
+    print(f"breakpoint at emit_code ({emit_pc:#010x})")
+    print(f"watchpoint on next_code ({debugger.add_watchpoint('next_code'):#010x})\n")
+
+    print("first five stops:")
+    stop = debugger.run()
+    for _ in range(5):
+        if stop.reason == "breakpoint":
+            code = debugger.read_register("$a0")
+            print(f"  #{stop.instructions:>7,}  emit_code(code={code})  "
+                  f"backtrace: {' > '.join(debugger.backtrace())}")
+        elif stop.reason == "watchpoint":
+            print(f"  #{stop.instructions:>7,}  next_code touched at {stop.address:#x} "
+                  f"(now {debugger.read_word('next_code')}) in "
+                  f"{debugger.current_function()}")
+        else:
+            break
+        stop = debugger.cont()
+
+    # Drop the breakpoints and single-step a little.
+    debugger.remove_breakpoint("emit_code")
+    debugger.remove_watchpoint("next_code")
+    stop = debugger.step(3)
+    print(f"\nafter 3 single steps: pc={debugger.simulator.pc:#010x} "
+          f"in {debugger.current_function()}")
+
+    # Run to completion.
+    stop = debugger.cont()
+    print(f"\nfinished: reason={stop.reason}, {stop.instructions:,} instructions")
+    print(f"program output: {stop.output.strip()}")
+    print(f"final table entries: {debugger.read_word('table_entries')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Hardware design-space sweep for the reuse buffer (Section 7).
+
+The paper evaluates one reuse-buffer configuration (8K entries, 4-way)
+and observes that "there is still room for improvement".  This example
+sweeps buffer geometry over a chosen workload and reports how much of the
+total repetition each configuration captures — the experiment a hardware
+designer would run next.
+
+Run:  python examples/reuse_buffer_sweep.py [workload]   (default: li)
+"""
+
+import sys
+
+from repro.core import RepetitionTracker, ReuseBuffer
+from repro.sim import Simulator
+from repro.workloads import WORKLOAD_ORDER, get_workload
+
+GEOMETRIES = [
+    (512, 1),
+    (512, 4),
+    (2048, 4),
+    (8192, 4),   # the paper's configuration
+    (8192, 16),
+    (32768, 4),
+]
+
+
+def run_geometry(workload, entries: int, associativity: int):
+    tracker = RepetitionTracker()
+    buffer = ReuseBuffer(entries, associativity)
+    simulator = Simulator(
+        workload.program(),
+        input_data=workload.primary_input(1),
+        analyzers=[tracker, buffer],
+    )
+    simulator.run()
+    report = buffer.report()
+    return (
+        report.hit_pct,
+        report.repeated_share_pct(tracker.dynamic_repeated),
+        report.invalidations,
+    )
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "li"
+    if name not in WORKLOAD_ORDER:
+        print(f"unknown workload {name!r}; choose from: {', '.join(WORKLOAD_ORDER)}")
+        raise SystemExit(2)
+    workload = get_workload(name)
+
+    print(f"reuse-buffer geometry sweep over '{name}':\n")
+    print(f"{'geometry':>12}  {'% of all insns':>14}  {'% of repetition':>15}  {'invalidations':>13}")
+    for entries, associativity in GEOMETRIES:
+        hit, captured, invalidations = run_geometry(workload, entries, associativity)
+        label = f"{entries}x{associativity}"
+        marker = "  <- paper" if (entries, associativity) == (8192, 4) else ""
+        print(f"{label:>12}  {hit:>13.1f}%  {captured:>14.1f}%  {invalidations:>13,}{marker}")
+
+
+if __name__ == "__main__":
+    main()

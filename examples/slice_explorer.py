@@ -1,0 +1,66 @@
+"""Dynamic slice exploration (the paper's Section 2 concept, materialized).
+
+The paper's analyses classify instructions by the *dynamic slice* their
+values belong to. This example extracts an actual backward slice: run a
+program under the SliceRecorder, take the final printed value, and list
+exactly which dynamic instructions produced it — everything else the
+program executed was, for that value, overhead.
+
+Run:  python examples/slice_explorer.py
+"""
+
+from repro.core import SliceRecorder
+from repro.isa.convention import Syscall
+from repro.lang import compile_source
+from repro.sim import Simulator
+
+SOURCE = """
+int weights[4] = {10, 20, 30, 40};
+
+int pick(int i) {
+    return weights[i & 3];
+}
+
+int main() {
+    int wanted = 0;
+    int noise = 0;
+    int i;
+    for (i = 0; i < 6; i += 1) {
+        wanted += pick(i);        /* flows into the printed value   */
+        noise ^= i * 2654435761;  /* executed but ultimately unused */
+    }
+    print_int(wanted);
+    putchar('\\n');
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    recorder = SliceRecorder()
+    result = Simulator(program, analyzers=[recorder]).run()
+
+    print(f"program output      : {result.output.strip()}")
+    print(f"instructions run    : {result.analyzed_instructions}")
+
+    # Anchor the slice at the print_int syscall: everything that fed it.
+    print_step = next(
+        step for service, step in recorder.syscall_steps
+        if service == Syscall.PRINT_INT
+    )
+    report = recorder.backward_slice(print_step)
+    print(f"backward slice size : {report.dynamic_size} dynamic instructions "
+          f"({report.static_size} static)")
+    share = 100.0 * report.dynamic_size / result.analyzed_instructions
+    print(f"slice share         : {share:.1f}% of the execution fed the result;")
+    print( "                      the rest was control, addressing, and the")
+    print( "                      'noise' computation — the paper's overhead classes.\n")
+
+    print("last 15 slice instructions (index, pc, instruction):")
+    for node in recorder.nodes(report)[-15:]:
+        print(f"  #{node.index:<6} {node.pc:#010x}  {node.disassembly}")
+
+
+if __name__ == "__main__":
+    main()

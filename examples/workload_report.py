@@ -1,0 +1,78 @@
+"""Full per-workload analysis report.
+
+Runs one of the eight synthetic SPEC'95-like workloads under the complete
+analysis stack and prints every per-benchmark statistic the paper reports
+about it: repetition totals, source-slice breakdown (Table 3), function
+argument repetition (Table 4), local categories (Tables 5-7), memoization
+candidates (Table 8), and reuse-buffer capture (Table 10).
+
+Run:  python examples/workload_report.py [workload]   (default: m88ksim)
+"""
+
+import sys
+
+from repro.core.global_analysis import CATEGORY_ORDER as GLOBAL_CATEGORIES
+from repro.core.local_analysis import CATEGORY_ORDER as LOCAL_CATEGORIES
+from repro.harness import SuiteConfig, run_workload
+from repro.workloads import WORKLOAD_ORDER, get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
+    if name not in WORKLOAD_ORDER:
+        print(f"unknown workload {name!r}; choose from: {', '.join(WORKLOAD_ORDER)}")
+        raise SystemExit(2)
+
+    workload = get_workload(name)
+    print(f"workload : {workload.name} — {workload.description}")
+    print(f"analogue : {workload.spec_analogue}")
+    print("running the full analysis stack...")
+    result = run_workload(workload, SuiteConfig(scale=1))
+
+    rep = result.repetition
+    print(f"\n-- totals ({result.run.analyzed_instructions:,} instructions) --")
+    print(f"dynamic repetition   : {rep.dynamic_repeated_pct:.1f}%")
+    print(f"static executed      : {rep.static_executed} "
+          f"(repeated: {rep.static_repeated_pct:.1f}%)")
+    print(f"unique instances     : {rep.unique_repeatable_instances:,} "
+          f"(avg repeats {rep.average_repeats:.1f})")
+
+    print("\n-- global source slices (Table 3) --")
+    glob = result.global_analysis
+    for category in GLOBAL_CATEGORIES:
+        print(f"  {category:18s} overall {glob.overall_pct(category):5.1f}%  "
+              f"repeated {glob.repeated_pct(category):5.1f}%  "
+              f"propensity {glob.propensity_pct(category):5.1f}%")
+
+    print("\n-- function-level analysis (Tables 4 and 8) --")
+    func = result.function_analysis
+    print(f"  functions observed     : {func.num_functions}")
+    print(f"  dynamic calls          : {func.dynamic_calls:,}")
+    print(f"  all-args repeated      : {func.all_args_repeated_pct:.1f}%")
+    print(f"  no-args repeated       : {func.no_args_repeated_pct:.1f}%")
+    print(f"  pure (memoizable)      : {func.pure_pct:.2f}%")
+    print(f"  top-5 arg-set coverage : "
+          + " ".join(f"{v:.1f}%" for v in func.top_k_coverage))
+
+    print("\n-- local categories (Tables 5/6/7) --")
+    local = result.local_analysis
+    for category in LOCAL_CATEGORIES:
+        print(f"  {category:18s} overall {local.overall_pct(category):5.1f}%  "
+              f"repeated {local.repeated_pct(category):5.1f}%  "
+              f"propensity {local.propensity_pct(category):6.1f}%")
+
+    print("\n-- top prologue/epilogue contributors (Table 9) --")
+    for contributor in local.top_prologue_contributors(5):
+        print(f"  {contributor.name:24s} size={contributor.static_size:4d} "
+              f"repeated={contributor.repeated:,}")
+    print(f"  coverage of top 5: {local.prologue_coverage_pct(5):.1f}%")
+
+    print("\n-- reuse buffer, 8K 4-way (Table 10) --")
+    reuse = result.reuse
+    print(f"  captured {reuse.hit_pct:.1f}% of all instructions, "
+          f"{reuse.repeated_share_pct(rep.dynamic_repeated):.1f}% of repetition "
+          f"({reuse.invalidations:,} load invalidations)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro — reproduction of Sodani & Sohi, "An Empirical Analysis of
+Instruction Repetition" (ASPLOS 1998).
+
+Layers (bottom-up):
+
+* :mod:`repro.isa` — MIPS-I-like instruction set and ABI.
+* :mod:`repro.asm` — assembler and program image.
+* :mod:`repro.lang` — the MiniC compiler used to build the workloads.
+* :mod:`repro.sim` — functional simulator with an analyzer event stream.
+* :mod:`repro.core` — the paper's analyses (repetition tracking, global /
+  function / local slice analyses, reuse buffer, value profiles).
+* :mod:`repro.workloads` — eight synthetic SPEC'95-like benchmarks.
+* :mod:`repro.analysis` — coverage math and table formatting.
+* :mod:`repro.harness` — per-table/figure experiment registry and runner.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,37 @@
+"""Analysis utilities: coverage math, table formatting, CFG profiling."""
+
+from repro.analysis.callgraph import (
+    CallGraphProfiler,
+    CallGraphReport,
+    FunctionProfile,
+)
+from repro.analysis.cfg import (
+    BasicBlock,
+    BasicBlockProfiler,
+    BlockProfile,
+    ControlFlowGraph,
+)
+from repro.analysis.coverage import (
+    INSTANCE_BUCKETS,
+    bucket_label,
+    bucket_shares,
+    contributors_for_fraction,
+    coverage_curve,
+    cumulative_share_curve,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BasicBlockProfiler",
+    "BlockProfile",
+    "CallGraphProfiler",
+    "CallGraphReport",
+    "ControlFlowGraph",
+    "FunctionProfile",
+    "INSTANCE_BUCKETS",
+    "bucket_label",
+    "bucket_shares",
+    "contributors_for_fraction",
+    "coverage_curve",
+    "cumulative_share_curve",
+]

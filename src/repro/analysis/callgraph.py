@@ -1,0 +1,150 @@
+"""Dynamic call-graph profiling (a gprof-style view).
+
+Builds the dynamic call graph from the simulator's call/return events:
+per-function call counts, exclusive (self) and inclusive (self +
+callees) instruction counts, and caller→callee edge weights.  The
+per-function "flat profile" complements the paper's Table 9 (which ranks
+functions by their prologue/epilogue repetition): here they are ranked
+by where time actually goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.events import CallEvent, ReturnEvent, StepRecord
+from repro.sim.observer import Analyzer
+
+#: Name used for execution outside any known function.
+UNKNOWN = "<unknown>"
+
+
+@dataclass
+class FunctionProfile:
+    name: str
+    calls: int = 0
+    #: Instructions retired inside the function body itself.
+    exclusive: int = 0
+    #: Instructions retired in the function or anything it called.
+    inclusive: int = 0
+
+    @property
+    def average_exclusive(self) -> float:
+        return self.exclusive / self.calls if self.calls else 0.0
+
+
+@dataclass
+class CallGraphReport:
+    functions: Dict[str, FunctionProfile]
+    #: (caller, callee) -> dynamic call count.
+    edges: Dict[Tuple[str, str], int]
+    total_instructions: int
+
+    def flat_profile(self, count: int = 10) -> List[FunctionProfile]:
+        """Functions ranked by exclusive instruction count."""
+        ranked = sorted(
+            self.functions.values(), key=lambda f: f.exclusive, reverse=True
+        )
+        return ranked[:count]
+
+    def exclusive_share_pct(self, name: str) -> float:
+        profile = self.functions.get(name)
+        if profile is None or not self.total_instructions:
+            return 0.0
+        return 100.0 * profile.exclusive / self.total_instructions
+
+    def callers_of(self, name: str) -> List[Tuple[str, int]]:
+        return sorted(
+            ((caller, hits) for (caller, callee), hits in self.edges.items() if callee == name),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )
+
+    def callees_of(self, name: str) -> List[Tuple[str, int]]:
+        return sorted(
+            ((callee, hits) for (caller, callee), hits in self.edges.items() if caller == name),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )
+
+
+class _Frame:
+    __slots__ = ("name", "exclusive", "inclusive")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.exclusive = 0
+        self.inclusive = 0
+
+
+class CallGraphProfiler(Analyzer):
+    """Accumulates the dynamic call graph over the event stream.
+
+    Recursion is handled naturally (each activation is its own frame);
+    inclusive counts for recursive functions therefore count shared
+    instructions once per live activation, as gprof-style profilers do.
+    """
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, FunctionProfile] = {}
+        self._edges: Dict[Tuple[str, str], int] = {}
+        self._stack: List[_Frame] = [_Frame(UNKNOWN)]
+        self.total_instructions = 0
+
+    def _profile(self, name: str) -> FunctionProfile:
+        profile = self._functions.get(name)
+        if profile is None:
+            profile = FunctionProfile(name)
+            self._functions[name] = profile
+        return profile
+
+    def on_step(self, record: StepRecord) -> None:
+        self.total_instructions += 1
+        frame = self._stack[-1]
+        frame.exclusive += 1
+        frame.inclusive += 1
+
+    def on_call(self, event: CallEvent) -> None:
+        callee = event.function.name if event.function else UNKNOWN
+        caller = self._stack[-1].name
+        if not event.warmup:
+            self._profile(callee).calls += 1
+            key = (caller, callee)
+            self._edges[key] = self._edges.get(key, 0) + 1
+        self._stack.append(_Frame(callee))
+
+    def on_return(self, event: ReturnEvent) -> None:
+        if len(self._stack) <= 1:
+            return
+        frame = self._stack.pop()
+        profile = self._profile(frame.name)
+        profile.exclusive += frame.exclusive
+        profile.inclusive += frame.inclusive
+        # The callee's instructions are inclusive for the caller too.
+        self._stack[-1].inclusive += frame.inclusive
+        # Reset per-activation counters (they were just flushed).
+        frame.exclusive = 0
+
+    def on_finish(self) -> None:
+        # Flush any frames still live at program end (main, or exit()).
+        while len(self._stack) > 1:
+            frame = self._stack.pop()
+            profile = self._profile(frame.name)
+            profile.exclusive += frame.exclusive
+            profile.inclusive += frame.inclusive
+            self._stack[-1].inclusive += frame.inclusive
+        root = self._stack[0]
+        if root.exclusive:
+            profile = self._profile(UNKNOWN)
+            profile.exclusive += root.exclusive
+            profile.inclusive += root.inclusive
+            root.exclusive = 0
+            root.inclusive = 0
+
+    def report(self) -> CallGraphReport:
+        return CallGraphReport(
+            functions=dict(self._functions),
+            edges=dict(self._edges),
+            total_instructions=self.total_instructions,
+        )

@@ -1,0 +1,167 @@
+"""Static control-flow graphs and basic-block execution profiling.
+
+Infrastructure layer under the repetition analyses: builds the static
+CFG of a :class:`~repro.asm.program.Program` (basic blocks, successor
+edges, function membership) and profiles block execution counts from the
+simulator's event stream — the standard "hot block" view that complements
+the paper's per-instruction repetition view.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.asm.program import Program
+from repro.isa.instructions import Format, Kind
+from repro.sim.events import StepRecord
+from repro.sim.observer import Analyzer
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start: int
+    #: Address one past the last instruction.
+    end: int
+    #: Static successor block start addresses.
+    successors: Tuple[int, ...] = ()
+    function: Optional[str] = None
+
+    @property
+    def size(self) -> int:
+        return (self.end - self.start) // 4
+
+    def __contains__(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+
+class ControlFlowGraph:
+    """The static CFG of a program's text segment."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.blocks: Dict[int, BasicBlock] = {}
+        self._build()
+        self._starts = sorted(self.blocks)
+
+    def _build(self) -> None:
+        program = self.program
+        base = program.text_base
+        end = program.text_end
+        leaders = {base}
+
+        for instr in program.text:
+            kind = instr.op.kind
+            next_addr = instr.addr + 4
+            if kind == Kind.BRANCH or kind == Kind.JUMP:
+                if base <= instr.target < end:
+                    leaders.add(instr.target)
+                if next_addr < end:
+                    leaders.add(next_addr)
+            elif kind in (Kind.CALL, Kind.JUMP_REG):
+                # Calls return to the next instruction; jr targets are
+                # dynamic.  Both end a block.
+                if kind == Kind.CALL and instr.op.fmt == Format.J and base <= instr.target < end:
+                    leaders.add(instr.target)
+                if next_addr < end:
+                    leaders.add(next_addr)
+        for function in program.functions:
+            leaders.add(function.entry)
+
+        ordered = sorted(leaders)
+        for i, start in enumerate(ordered):
+            stop = ordered[i + 1] if i + 1 < len(ordered) else end
+            if start >= end:
+                continue
+            last = self.program.instruction_at(stop - 4)
+            successors: List[int] = []
+            kind = last.op.kind
+            if kind == Kind.BRANCH:
+                successors.append(last.target)
+                if stop < end:
+                    successors.append(stop)
+            elif kind == Kind.JUMP:
+                successors.append(last.target)
+            elif kind == Kind.CALL:
+                if last.op.fmt == Format.J:
+                    successors.append(last.target)
+                if stop < end:
+                    successors.append(stop)  # the return continuation
+            elif kind == Kind.JUMP_REG:
+                pass  # dynamic target
+            else:
+                if stop < end:
+                    successors.append(stop)
+            info = self.program.function_at(start)
+            self.blocks[start] = BasicBlock(
+                start, stop, tuple(dict.fromkeys(successors)), info.name if info else None
+            )
+
+    # -- queries ------------------------------------------------------------
+
+    def block_at(self, address: int) -> BasicBlock:
+        """The block containing ``address``."""
+        index = bisect.bisect_right(self._starts, address) - 1
+        if index < 0:
+            raise KeyError(f"address {address:#x} before text segment")
+        block = self.blocks[self._starts[index]]
+        if address not in block:
+            raise KeyError(f"address {address:#x} outside text segment")
+        return block
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def blocks_of_function(self, name: str) -> List[BasicBlock]:
+        return [b for b in self.blocks.values() if b.function == name]
+
+
+@dataclass
+class BlockProfile:
+    """Execution profile over basic blocks."""
+
+    #: block start -> times its leader executed.
+    counts: Dict[int, int]
+    cfg: ControlFlowGraph
+
+    def hottest(self, count: int = 10) -> List[Tuple[BasicBlock, int]]:
+        ranked = sorted(self.counts.items(), key=lambda kv: kv[1], reverse=True)
+        return [(self.cfg.blocks[start], hits) for start, hits in ranked[:count]]
+
+    @property
+    def executed_blocks(self) -> int:
+        return len(self.counts)
+
+    def dynamic_instructions(self) -> int:
+        """Instructions implied by block counts (leader count x size is an
+        overestimate under mid-block early exits; here blocks are exact
+        because only leaders are counted on entry)."""
+        return sum(
+            self.cfg.blocks[start].size * hits for start, hits in self.counts.items()
+        )
+
+
+class BasicBlockProfiler(Analyzer):
+    """Counts basic-block entries over the execution stream."""
+
+    def __init__(self) -> None:
+        self._cfg: Optional[ControlFlowGraph] = None
+        self._leader_counts: Dict[int, int] = {}
+        self._leaders: set = set()
+
+    def on_start(self, program: Program) -> None:
+        self._cfg = ControlFlowGraph(program)
+        self._leaders = set(self._cfg.blocks)
+
+    def on_step(self, record: StepRecord) -> None:
+        if record.pc in self._leaders:
+            self._leader_counts[record.pc] = self._leader_counts.get(record.pc, 0) + 1
+
+    def report(self) -> BlockProfile:
+        if self._cfg is None:
+            raise RuntimeError("profiler was never attached to a run")
+        return BlockProfile(dict(self._leader_counts), self._cfg)

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one cell: floats get one decimal, everything else str()."""
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (first column left, rest right)."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    rendered.extend([format_cell(cell) for cell in row] for row in rows)
+    widths = [
+        max(len(row[col]) for row in rendered) for col in range(len(headers))
+    ]
+
+    def render_row(row: List[str]) -> str:
+        cells = [
+            row[0].ljust(widths[0]),
+            *(row[col].rjust(widths[col]) for col in range(1, len(widths))),
+        ]
+        return "  ".join(cells).rstrip()
+
+    lines = [render_row(rendered[0])]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rendered[1:])
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Assembler, linker-lite, and program image for the MIPS-I-like ISA.
+
+The public surface is :func:`repro.asm.assemble` (source text to a
+:class:`~repro.asm.program.Program`) plus the :class:`Program` /
+:class:`FunctionInfo` image types the simulator and analyses consume.
+"""
+
+from repro.asm.assembler import Assembler, assemble
+from repro.asm.errors import AsmError
+from repro.asm.program import FunctionInfo, Program
+
+__all__ = ["AsmError", "Assembler", "FunctionInfo", "Program", "assemble"]

@@ -1,0 +1,13 @@
+"""Assembler error types."""
+
+from __future__ import annotations
+
+
+class AsmError(Exception):
+    """An error in assembly source, with location information."""
+
+    def __init__(self, message: str, line: int = 0, filename: str = "<asm>") -> None:
+        self.message = message
+        self.line = line
+        self.filename = filename
+        super().__init__(f"{filename}:{line}: {message}" if line else message)

@@ -1,0 +1,99 @@
+"""Line-oriented tokenizer for assembly source.
+
+Assembly is simple enough that each line is tokenized independently:
+labels, a mnemonic or directive, then a comma-separated operand list.
+Comments start with ``#`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.asm.errors import AsmError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<char>'(?:[^'\\]|\\.)')
+  | (?P<hex>[-+]?0[xX][0-9a-fA-F]+)
+  | (?P<num>[-+]?\d+)
+  | (?P<reg>\$[a-zA-Z0-9]+)
+  | (?P<ident>\.?[A-Za-z_][A-Za-z0-9_.$]*)
+  | (?P<punct>[():,+-])
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    '"': '"',
+    "'": "'",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # string | char | num | reg | ident | punct
+    text: str
+    value: object = None
+
+
+def unescape(body: str) -> str:
+    """Process backslash escapes inside a string or char literal body."""
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            out.append(_ESCAPES.get(body[i + 1], body[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def tokenize_line(line: str, lineno: int = 0, filename: str = "<asm>") -> List[Token]:
+    """Tokenize one source line (comment stripped), raising on bad input."""
+    comment = line.find("#")
+    if comment >= 0:
+        line = line[:comment]
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(line):
+        match = _TOKEN_RE.match(line, pos)
+        if match is None:
+            raise AsmError(f"unexpected character {line[pos]!r}", lineno, filename)
+        pos = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "ws":
+            continue
+        if kind == "string":
+            tokens.append(Token("string", text, unescape(text[1:-1])))
+        elif kind == "char":
+            tokens.append(Token("num", text, ord(unescape(text[1:-1]))))
+        elif kind in ("hex", "num"):
+            tokens.append(Token("num", text, int(text, 0)))
+        elif kind == "reg":
+            tokens.append(Token("reg", text))
+        elif kind == "ident":
+            tokens.append(Token("ident", text))
+        else:
+            tokens.append(Token("punct", text))
+    return tokens
+
+
+def iter_logical_lines(source: str) -> Iterator["tuple[int, str]"]:
+    """Yield ``(lineno, text)`` for each non-blank source line."""
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped:
+            yield lineno, raw

@@ -1,0 +1,198 @@
+"""Parser for assembly source: lines -> labeled statements with operands."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.asm.errors import AsmError
+from repro.asm.lexer import Token, iter_logical_lines, tokenize_line
+from repro.isa.registers import is_register_name, register_index
+
+
+@dataclass(frozen=True)
+class RegOp:
+    """A register operand."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ImmOp:
+    """An immediate operand (already a plain integer)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class SymOp:
+    """A symbol reference, optionally with an additive offset."""
+
+    name: str
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """A memory operand ``offset(base)``."""
+
+    offset: int
+    base: int
+
+
+@dataclass(frozen=True)
+class MemSymOp:
+    """A memory operand ``symbol(base)`` — gp-relative global access."""
+
+    sym: SymOp
+    base: int
+
+
+Operand = Union[RegOp, ImmOp, SymOp, MemOp, MemSymOp]
+
+
+@dataclass
+class LabelStmt:
+    name: str
+    lineno: int
+
+
+@dataclass
+class DirectiveStmt:
+    name: str
+    args: List[Token]
+    lineno: int
+
+
+@dataclass
+class InstrStmt:
+    mnemonic: str
+    operands: List[Operand]
+    lineno: int
+
+
+Statement = Union[LabelStmt, DirectiveStmt, InstrStmt]
+
+
+class _LineParser:
+    """Parses the token list of a single line."""
+
+    def __init__(self, tokens: List[Token], lineno: int, filename: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.lineno = lineno
+        self.filename = filename
+
+    def error(self, message: str) -> AsmError:
+        return AsmError(message, self.lineno, self.filename)
+
+    def peek(self) -> Optional[Token]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise self.error("unexpected end of line")
+        self.pos += 1
+        return token
+
+    def accept_punct(self, text: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "punct" and token.text == text:
+            self.pos += 1
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> None:
+        if not self.accept_punct(text):
+            raise self.error(f"expected {text!r}")
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def parse_operand(self) -> Operand:
+        token = self.next()
+        if token.kind == "reg":
+            try:
+                return RegOp(register_index(token.text))
+            except KeyError:
+                raise self.error(f"unknown register {token.text!r}") from None
+        if token.kind == "num":
+            value = int(token.value)  # type: ignore[arg-type]
+            if self.accept_punct("("):
+                base = self._parse_base_register()
+                return MemOp(value, base)
+            return ImmOp(value)
+        if token.kind == "punct" and token.text == "(":
+            base = self._parse_base_register()
+            return MemOp(0, base)
+        if token.kind == "ident":
+            offset = 0
+            following = self.peek()
+            if self.accept_punct("+"):
+                offset = int(self.next().value)  # type: ignore[arg-type]
+            elif self.accept_punct("-"):
+                offset = -int(self.next().value)  # type: ignore[arg-type]
+            elif (
+                following is not None
+                and following.kind == "num"
+                and following.text[0] in "+-"
+            ):
+                # The lexer folds the sign into the number: "sym+8".
+                self.pos += 1
+                offset = int(following.value)  # type: ignore[arg-type]
+            sym = SymOp(token.text, offset)
+            if self.accept_punct("("):
+                base = self._parse_base_register()
+                return MemSymOp(sym, base)
+            return sym
+        raise self.error(f"bad operand {token.text!r}")
+
+    def _parse_base_register(self) -> int:
+        token = self.next()
+        if token.kind != "reg" or not is_register_name(token.text):
+            raise self.error("expected base register")
+        self.expect_punct(")")
+        return register_index(token.text)
+
+
+def parse_source(source: str, filename: str = "<asm>") -> List[Statement]:
+    """Parse assembly source into a flat statement list."""
+    statements: List[Statement] = []
+    for lineno, raw in iter_logical_lines(source):
+        tokens = tokenize_line(raw, lineno, filename)
+        if not tokens:
+            continue
+        parser = _LineParser(tokens, lineno, filename)
+        # Leading labels: ident ':' (may repeat; instruction may follow).
+        while True:
+            token = parser.peek()
+            if (
+                token is not None
+                and token.kind == "ident"
+                and not token.text.startswith(".")
+                and parser.pos + 1 < len(tokens)
+                and tokens[parser.pos + 1].kind == "punct"
+                and tokens[parser.pos + 1].text == ":"
+            ):
+                parser.pos += 2
+                statements.append(LabelStmt(token.text, lineno))
+            else:
+                break
+        if parser.at_end():
+            continue
+        head = parser.next()
+        if head.kind != "ident":
+            raise parser.error(f"expected mnemonic or directive, got {head.text!r}")
+        if head.text.startswith("."):
+            statements.append(DirectiveStmt(head.text, tokens[parser.pos :], lineno))
+            continue
+        operands: List[Operand] = []
+        if not parser.at_end():
+            operands.append(parser.parse_operand())
+            while parser.accept_punct(","):
+                operands.append(parser.parse_operand())
+        if not parser.at_end():
+            raise parser.error("trailing junk on line")
+        statements.append(InstrStmt(head.text.lower(), operands, lineno))
+    return statements

@@ -1,0 +1,269 @@
+"""Pseudo-instruction expansion.
+
+Pseudo-instructions are expanded into real MIPS-I-like instructions at
+assembly time, exactly the way a MIPS assembler does: ``li`` with a large
+constant becomes a ``lui``/``ori`` pair (an instruction-set-induced source
+of repetition the paper highlights in Section 6), ``la`` of a symbol near
+``$gp`` becomes a single ``addiu $rt, $gp, off`` (feeding the paper's
+"global address calculation" category), synthesized comparisons use the
+assembler temporary ``$at``.
+
+Expansion is split into two stages so the assembler can lay out the text
+segment before all symbols are resolved:
+
+* :func:`expansion_length` — how many real instructions a statement
+  occupies (depends only on immediate values and on whether a ``la``
+  target is a gp-reachable data symbol).
+* :func:`expand` — produce :class:`Proto` instructions whose symbolic
+  parts (branch targets, ``%hi``/``%lo`` halves) are resolved later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.asm.errors import AsmError
+from repro.asm.parser import ImmOp, MemOp, Operand, RegOp, SymOp
+from repro.isa.bits import fits_s16, fits_u16, to_u32
+from repro.isa.convention import GP_VALUE
+from repro.isa.registers import AT, GP, RA, ZERO
+
+#: Relocation kinds for immediates that reference a symbol.
+HI16 = "hi16"
+LO16 = "lo16"
+GPREL = "gprel"
+
+
+@dataclass(frozen=True)
+class SymImm:
+    """An immediate that is a relocation against a symbol."""
+
+    kind: str  # HI16 | LO16 | GPREL
+    sym: SymOp
+
+
+@dataclass
+class Proto:
+    """A real instruction whose symbolic operands await resolution."""
+
+    name: str
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: Union[int, SymImm] = 0
+    shamt: int = 0
+    target: Union[int, SymOp, None] = None
+
+
+#: ``DataSymbolLookup(name) -> address or None`` — returns the final
+#: address of a *data-segment* symbol, or None for text/unknown symbols.
+DataSymbolLookup = Callable[[str], Optional[int]]
+
+PSEUDO_MNEMONICS = frozenset(
+    {
+        "li", "la", "move", "b", "beqz", "bnez", "blt", "bge", "bgt", "ble",
+        "bltu", "bgeu", "neg", "not", "mul", "rem", "seq", "sne", "sge",
+        "sgt", "sle",
+    }
+)
+
+_BRANCH_SYNTH = {
+    # mnemonic: (swap operands for slt, branch-on-nonzero)
+    "blt": (False, True),
+    "bge": (False, False),
+    "bgt": (True, True),
+    "ble": (True, False),
+}
+
+_SET_SYNTH = frozenset({"seq", "sne", "sge", "sle"})
+
+
+def _reg(operand: Operand, lineno: int) -> int:
+    if not isinstance(operand, RegOp):
+        raise AsmError("expected register operand", lineno)
+    return operand.index
+
+
+def _imm(operand: Operand, lineno: int) -> int:
+    if not isinstance(operand, ImmOp):
+        raise AsmError("expected immediate operand", lineno)
+    return operand.value
+
+
+def _sym(operand: Operand, lineno: int) -> SymOp:
+    if not isinstance(operand, SymOp):
+        raise AsmError("expected symbol operand", lineno)
+    return operand
+
+
+def _gp_reachable(address: int) -> bool:
+    return fits_s16(address - GP_VALUE)
+
+
+def _li_length(value: int) -> int:
+    return 1 if (fits_s16(value) or fits_u16(value)) else 2
+
+
+def _la_length(sym: SymOp, data_lookup: DataSymbolLookup) -> int:
+    address = data_lookup(sym.name)
+    if address is not None and _gp_reachable(address + sym.offset):
+        return 1
+    return 2
+
+
+def expansion_length(
+    mnemonic: str, operands: Sequence[Operand], lineno: int, data_lookup: DataSymbolLookup
+) -> int:
+    """Number of real instructions this (possibly pseudo) statement emits."""
+    if mnemonic == "li":
+        return _li_length(_imm(operands[1], lineno)) if len(operands) == 2 else 1
+    if mnemonic == "la":
+        return _la_length(_sym(operands[1], lineno), data_lookup) if len(operands) == 2 else 1
+    if mnemonic in _BRANCH_SYNTH or mnemonic in ("bltu", "bgeu"):
+        if len(operands) == 3 and isinstance(operands[1], ImmOp):
+            # blt/bge (and unsigned) use slti directly; bgt/ble must
+            # materialize the constant first.
+            return 2 if mnemonic in ("blt", "bge", "bltu", "bgeu") else 3
+        return 2
+    if mnemonic in ("mul", "rem"):
+        return 2
+    if mnemonic == "div" and len(operands) == 3:
+        return 2
+    if mnemonic == "sgt":
+        return 1
+    if mnemonic in ("seq", "sne", "sge", "sle"):
+        return 2
+    return 1
+
+
+def _expand_li(rt: int, value: int) -> List[Proto]:
+    if fits_s16(value):
+        return [Proto("addiu", rt=rt, rs=ZERO, imm=value)]
+    if fits_u16(value):
+        return [Proto("ori", rt=rt, rs=ZERO, imm=value)]
+    unsigned = to_u32(value)
+    return [
+        Proto("lui", rt=rt, imm=(unsigned >> 16) & 0xFFFF),
+        Proto("ori", rt=rt, rs=rt, imm=unsigned & 0xFFFF),
+    ]
+
+
+def _expand_la(rt: int, sym: SymOp, data_lookup: DataSymbolLookup) -> List[Proto]:
+    address = data_lookup(sym.name)
+    if address is not None and _gp_reachable(address + sym.offset):
+        return [Proto("addiu", rt=rt, rs=GP, imm=SymImm(GPREL, sym))]
+    return [
+        Proto("lui", rt=rt, imm=SymImm(HI16, sym)),
+        Proto("ori", rt=rt, rs=rt, imm=SymImm(LO16, sym)),
+    ]
+
+
+def _expand_set(kind: str, rd: int, rs: int, rt: int) -> List[Proto]:
+    if kind == "seq":
+        return [
+            Proto("subu", rd=rd, rs=rs, rt=rt),
+            Proto("sltiu", rt=rd, rs=rd, imm=1),
+        ]
+    if kind == "sne":
+        return [
+            Proto("subu", rd=rd, rs=rs, rt=rt),
+            Proto("sltu", rd=rd, rs=ZERO, rt=rd),
+        ]
+    if kind == "sge":
+        return [
+            Proto("slt", rd=rd, rs=rs, rt=rt),
+            Proto("xori", rt=rd, rs=rd, imm=1),
+        ]
+    if kind == "sle":
+        return [
+            Proto("slt", rd=rd, rs=rt, rt=rs),
+            Proto("xori", rt=rd, rs=rd, imm=1),
+        ]
+    raise AssertionError(kind)
+
+
+def expand(
+    mnemonic: str,
+    operands: Sequence[Operand],
+    lineno: int,
+    data_lookup: DataSymbolLookup,
+) -> List[Proto]:
+    """Expand one statement into real :class:`Proto` instructions.
+
+    Non-pseudo mnemonics are returned as a single :class:`Proto` built by
+    the assembler's encoder, so this function only handles the pseudo set
+    plus three-operand ``div``.
+    """
+    if mnemonic == "li":
+        return _expand_li(_reg(operands[0], lineno), _imm(operands[1], lineno))
+    if mnemonic == "la":
+        return _expand_la(_reg(operands[0], lineno), _sym(operands[1], lineno), data_lookup)
+    if mnemonic == "move":
+        return [Proto("addu", rd=_reg(operands[0], lineno), rs=_reg(operands[1], lineno), rt=ZERO)]
+    if mnemonic == "b":
+        return [Proto("beq", rs=ZERO, rt=ZERO, target=_sym(operands[0], lineno))]
+    if mnemonic == "beqz":
+        return [Proto("beq", rs=_reg(operands[0], lineno), rt=ZERO, target=_sym(operands[1], lineno))]
+    if mnemonic == "bnez":
+        return [Proto("bne", rs=_reg(operands[0], lineno), rt=ZERO, target=_sym(operands[1], lineno))]
+    if mnemonic in _BRANCH_SYNTH:
+        swap, on_nonzero = _BRANCH_SYNTH[mnemonic]
+        branch = "bne" if on_nonzero else "beq"
+        rs = _reg(operands[0], lineno)
+        label = _sym(operands[2], lineno)
+        if isinstance(operands[1], ImmOp):
+            value = operands[1].value
+            if not fits_s16(value):
+                raise AsmError("branch immediate out of 16-bit range", lineno)
+            if not swap:  # blt / bge: rs < imm directly via slti
+                return [
+                    Proto("slti", rt=AT, rs=rs, imm=value),
+                    Proto(branch, rs=AT, rt=ZERO, target=label),
+                ]
+            # bgt / ble: need imm < rs, so materialize the constant.
+            return [
+                Proto("addiu", rt=AT, rs=ZERO, imm=value),
+                Proto("slt", rd=AT, rs=AT, rt=rs),
+                Proto(branch, rs=AT, rt=ZERO, target=label),
+            ]
+        rt = _reg(operands[1], lineno)
+        if swap:
+            rs, rt = rt, rs
+        return [
+            Proto("slt", rd=AT, rs=rs, rt=rt),
+            Proto(branch, rs=AT, rt=ZERO, target=label),
+        ]
+    if mnemonic in ("bltu", "bgeu"):
+        branch = "bne" if mnemonic == "bltu" else "beq"
+        rs = _reg(operands[0], lineno)
+        label = _sym(operands[2], lineno)
+        if isinstance(operands[1], ImmOp):
+            return [
+                Proto("sltiu", rt=AT, rs=rs, imm=_imm(operands[1], lineno)),
+                Proto(branch, rs=AT, rt=ZERO, target=label),
+            ]
+        return [
+            Proto("sltu", rd=AT, rs=rs, rt=_reg(operands[1], lineno)),
+            Proto(branch, rs=AT, rt=ZERO, target=label),
+        ]
+    if mnemonic == "neg":
+        return [Proto("subu", rd=_reg(operands[0], lineno), rs=ZERO, rt=_reg(operands[1], lineno))]
+    if mnemonic == "not":
+        return [Proto("nor", rd=_reg(operands[0], lineno), rs=_reg(operands[1], lineno), rt=ZERO)]
+    if mnemonic == "mul":
+        rd, rs, rt = (_reg(op, lineno) for op in operands)
+        return [Proto("mult", rs=rs, rt=rt), Proto("mflo", rd=rd)]
+    if mnemonic == "rem":
+        rd, rs, rt = (_reg(op, lineno) for op in operands)
+        return [Proto("div", rs=rs, rt=rt), Proto("mfhi", rd=rd)]
+    if mnemonic == "div" and len(operands) == 3:
+        rd, rs, rt = (_reg(op, lineno) for op in operands)
+        return [Proto("div", rs=rs, rt=rt), Proto("mflo", rd=rd)]
+    if mnemonic == "sgt":
+        rd, rs, rt = (_reg(op, lineno) for op in operands)
+        return [Proto("slt", rd=rd, rs=rt, rt=rs)]
+    if mnemonic in _SET_SYNTH:
+        rd, rs, rt = (_reg(op, lineno) for op in operands)
+        return _expand_set(mnemonic, rd, rs, rt)
+    raise AsmError(f"unknown pseudo-instruction {mnemonic!r}", lineno)

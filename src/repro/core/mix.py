@@ -1,0 +1,132 @@
+"""Dynamic instruction-mix characterization.
+
+Section 2 of the paper notes the total analysis "can also be carried out
+for different types of instructions, e.g., loads, stores, ALU
+operations".  This analyzer provides that per-class view plus the
+standard workload-characterization statistics (mix percentages, branch
+taken rate, call depth), and — when composed with the shared
+:class:`RepetitionTracker` — per-class repetition propensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.repetition import RepetitionTracker
+from repro.isa.instructions import Format, Kind
+from repro.sim.events import CallEvent, ReturnEvent, StepRecord
+from repro.sim.observer import Analyzer
+
+#: Coarse classes used for the mix breakdown, in display order.
+MIX_CLASSES = (
+    "alu",
+    "load",
+    "store",
+    "branch",
+    "jump",
+    "call",
+    "return",
+    "muldiv",
+    "syscall",
+)
+
+_KIND_TO_CLASS = {
+    Kind.ALU: "alu",
+    Kind.NOP: "alu",
+    Kind.LOAD: "load",
+    Kind.STORE: "store",
+    Kind.BRANCH: "branch",
+    Kind.JUMP: "jump",
+    Kind.CALL: "call",
+    Kind.MULDIV: "muldiv",
+    Kind.MFHILO: "muldiv",
+    Kind.SYSCALL: "syscall",
+}
+
+
+@dataclass
+class ClassStats:
+    total: int = 0
+    repeated: int = 0
+
+    @property
+    def propensity_pct(self) -> float:
+        return 100.0 * self.repeated / self.total if self.total else 0.0
+
+
+@dataclass
+class MixReport:
+    """Per-class mix plus control-flow and call-depth statistics."""
+
+    classes: Dict[str, ClassStats]
+    dynamic_total: int
+    branches: int
+    branches_taken: int
+    max_call_depth: int
+    dynamic_calls: int
+
+    def share_pct(self, name: str) -> float:
+        stats = self.classes[name]
+        return 100.0 * stats.total / self.dynamic_total if self.dynamic_total else 0.0
+
+    @property
+    def branch_taken_pct(self) -> float:
+        return 100.0 * self.branches_taken / self.branches if self.branches else 0.0
+
+    @property
+    def loads_per_store(self) -> float:
+        stores = self.classes["store"].total
+        return self.classes["load"].total / stores if stores else 0.0
+
+
+class InstructionMixAnalyzer(Analyzer):
+    """Classifies every retired instruction into a coarse mix class."""
+
+    def __init__(self, tracker: Optional[RepetitionTracker] = None) -> None:
+        self.tracker = tracker
+        self.classes = {name: ClassStats() for name in MIX_CLASSES}
+        self.dynamic_total = 0
+        self.branches = 0
+        self.branches_taken = 0
+        self.max_call_depth = 0
+        self.dynamic_calls = 0
+        self._depth = 0
+
+    def on_step(self, record: StepRecord) -> None:
+        instr = record.instr
+        kind = instr.op.kind
+        if kind == Kind.JUMP_REG:
+            name = "return" if instr.is_return else "jump"
+        else:
+            name = _KIND_TO_CLASS[kind]
+        stats = self.classes[name]
+        stats.total += 1
+        self.dynamic_total += 1
+        if kind == Kind.BRANCH:
+            self.branches += 1
+            if record.outputs and record.outputs[0]:
+                self.branches_taken += 1
+        if self.tracker is not None and self.tracker.was_repeated(record):
+            stats.repeated += 1
+
+    def on_call(self, event: CallEvent) -> None:
+        self._depth += 1
+        if not event.warmup:
+            self.dynamic_calls += 1
+        if self._depth > self.max_call_depth:
+            self.max_call_depth = self._depth
+
+    def on_return(self, event: ReturnEvent) -> None:
+        if self._depth:
+            self._depth -= 1
+
+    def report(self) -> MixReport:
+        return MixReport(
+            classes=dict(self.classes),
+            dynamic_total=self.dynamic_total,
+            branches=self.branches,
+            branches_taken=self.branches_taken,
+            max_call_depth=self.max_call_depth,
+            dynamic_calls=self.dynamic_calls,
+        )

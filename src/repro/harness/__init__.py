@@ -1,0 +1,21 @@
+"""Experiment harness: suite runner, per-table/figure registry, CLI."""
+
+from repro.harness.experiments import EXPERIMENT_ORDER, EXPERIMENTS, Experiment
+from repro.harness.runner import (
+    SuiteConfig,
+    WorkloadResult,
+    clear_cache,
+    run_suite,
+    run_workload,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "EXPERIMENT_ORDER",
+    "Experiment",
+    "SuiteConfig",
+    "WorkloadResult",
+    "clear_cache",
+    "run_suite",
+    "run_workload",
+]

@@ -1,0 +1,106 @@
+"""``repro-run`` command line interface.
+
+Examples::
+
+    repro-run --list
+    repro-run table1 table4 --scale 1
+    repro-run --all --scale 2 --input secondary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENT_ORDER, EXPERIMENTS
+from repro.harness.runner import SuiteConfig, run_suite
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description=(
+            "Reproduce tables and figures from Sodani & Sohi, 'An Empirical "
+            "Analysis of Instruction Repetition' (ASPLOS 1998)."
+        ),
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. table1 fig5)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument("--scale", type=int, default=1, help="workload input scale (default 1)")
+    parser.add_argument(
+        "--input",
+        choices=("primary", "secondary"),
+        default="primary",
+        help="input set (secondary = the paper's sensitivity check)",
+    )
+    parser.add_argument(
+        "--buffer-capacity",
+        type=int,
+        default=2000,
+        help="unique instances buffered per static instruction (paper: 2000)",
+    )
+    parser.add_argument("--reuse-entries", type=int, default=8192)
+    parser.add_argument("--reuse-assoc", type=int, default=4)
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated subset of workloads (default: all eight)",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="FILE",
+        default=None,
+        help="also write the selected experiments as a markdown report",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for exp_id in EXPERIMENT_ORDER:
+            exp = EXPERIMENTS[exp_id]
+            print(f"{exp_id:8s} {exp.paper_ref:9s} {exp.title}")
+        return 0
+
+    exp_ids = list(EXPERIMENT_ORDER) if args.all else args.experiments
+    if not exp_ids:
+        print("no experiments selected; try --list or --all", file=sys.stderr)
+        return 2
+    unknown = [e for e in exp_ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    config = SuiteConfig(
+        scale=args.scale,
+        buffer_capacity=args.buffer_capacity,
+        reuse_entries=args.reuse_entries,
+        reuse_associativity=args.reuse_assoc,
+        input_kind=args.input,
+    )
+    names = args.workloads.split(",") if args.workloads else None
+    started = time.time()
+    results = run_suite(config, names)
+    elapsed = time.time() - started
+    total = sum(r.run.analyzed_instructions for r in results.values())
+    print(f"# suite: {len(results)} workloads, {total:,} instructions, {elapsed:.1f}s\n")
+    for exp_id in exp_ids:
+        exp = EXPERIMENTS[exp_id]
+        print(f"== {exp.paper_ref}: {exp.title} [{exp_id}] ==")
+        print(exp.render(results))
+        print()
+    if args.markdown:
+        from repro.analysis.report import build_markdown_report
+
+        with open(args.markdown, "w") as handle:
+            handle.write(build_markdown_report(results, exp_ids))
+        print(f"# markdown report written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Suite runner: execute workloads under the full analysis stack.
+
+One simulated run per (workload, configuration) feeds *all* the paper's
+tables and figures, so results are cached at module level — the fifteen
+experiment reproductions and the test-suite fixtures share simulations
+instead of re-running them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.function_analysis import FunctionAnalysisReport, FunctionAnalyzer
+from repro.core.global_analysis import GlobalAnalysisReport, GlobalSourceAnalyzer
+from repro.core.local_analysis import LocalAnalysisReport, LocalAnalyzer
+from repro.core.repetition import RepetitionReport, RepetitionTracker
+from repro.core.reuse_buffer import ReuseBuffer, ReuseBufferReport
+from repro.core.value_profile import GlobalLoadValueProfiler, ValueProfileReport
+from repro.sim.simulator import RunResult, Simulator
+from repro.workloads import WORKLOAD_ORDER, Workload, get_workload
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Knobs for one suite run (defaults follow the paper's setup)."""
+
+    #: Input-size multiplier (~150k dynamic instructions per unit).
+    scale: int = 1
+    #: Unique instances buffered per static instruction (paper: 2000).
+    buffer_capacity: int = 2000
+    #: Reuse buffer geometry (paper: 8K entries, 4-way).
+    reuse_entries: int = 8192
+    reuse_associativity: int = 4
+    #: Analysis window (paper: skip 500M, run 1B — scaled down here).
+    skip_instructions: int = 0
+    limit_instructions: Optional[int] = None
+    #: "primary" or "secondary" input set.
+    input_kind: str = "primary"
+
+    def input_for(self, workload: Workload) -> bytes:
+        if self.input_kind == "primary":
+            return workload.primary_input(self.scale)
+        if self.input_kind == "secondary":
+            return workload.secondary_input(self.scale)
+        raise ValueError(f"unknown input kind {self.input_kind!r}")
+
+
+@dataclass
+class WorkloadResult:
+    """All per-workload reports needed by the tables and figures."""
+
+    workload: Workload
+    run: RunResult
+    repetition: RepetitionReport
+    global_analysis: GlobalAnalysisReport
+    function_analysis: FunctionAnalysisReport
+    local_analysis: LocalAnalysisReport
+    reuse: ReuseBufferReport
+    value_profile: ValueProfileReport
+    static_program_instructions: int = 0
+
+
+_CACHE: Dict[Tuple[str, SuiteConfig], WorkloadResult] = {}
+
+
+def run_workload(workload: Workload, config: SuiteConfig = SuiteConfig()) -> WorkloadResult:
+    """Run one workload under the full analyzer stack (cached)."""
+    key = (workload.name, config)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    program = workload.program()
+    tracker = RepetitionTracker(config.buffer_capacity)
+    global_analyzer = GlobalSourceAnalyzer(tracker)
+    function_analyzer = FunctionAnalyzer()
+    local_analyzer = LocalAnalyzer(tracker)
+    reuse = ReuseBuffer(config.reuse_entries, config.reuse_associativity)
+    value_profiler = GlobalLoadValueProfiler()
+    simulator = Simulator(
+        program,
+        input_data=config.input_for(workload),
+        # Tracker first: downstream analyzers read its per-step flag.
+        analyzers=[
+            tracker,
+            global_analyzer,
+            function_analyzer,
+            local_analyzer,
+            reuse,
+            value_profiler,
+        ],
+    )
+    run = simulator.run(limit=config.limit_instructions, skip=config.skip_instructions)
+    result = WorkloadResult(
+        workload=workload,
+        run=run,
+        repetition=tracker.report(),
+        global_analysis=global_analyzer.report(),
+        function_analysis=function_analyzer.report(),
+        local_analysis=local_analyzer.report(),
+        reuse=reuse.report(),
+        value_profile=value_profiler.report(),
+        static_program_instructions=program.static_instruction_count,
+    )
+    _CACHE[key] = result
+    return result
+
+
+def run_suite(
+    config: SuiteConfig = SuiteConfig(), names: Optional[Iterable[str]] = None
+) -> Dict[str, WorkloadResult]:
+    """Run the whole suite (or ``names``) and return results in order."""
+    selected = tuple(names) if names is not None else WORKLOAD_ORDER
+    return {name: run_workload(get_workload(name), config) for name in selected}
+
+
+def clear_cache() -> None:
+    """Drop cached results (tests use this for isolation where needed)."""
+    _CACHE.clear()

@@ -1,0 +1,50 @@
+"""MIPS-I-like instruction set definition.
+
+This subpackage is the ISA substrate: register file and ABI roles
+(:mod:`repro.isa.registers`), opcode table and decoded-instruction
+representation (:mod:`repro.isa.instructions`), memory map / calling
+convention / syscalls (:mod:`repro.isa.convention`), and 32-bit arithmetic
+helpers (:mod:`repro.isa.bits`).
+"""
+
+from repro.isa.convention import (
+    DATA_BASE,
+    GP_VALUE,
+    HEAP_BASE,
+    MAX_REGISTER_ARGS,
+    STACK_TOP,
+    Syscall,
+    TEXT_BASE,
+    segment_of,
+)
+from repro.isa.instructions import Format, Instruction, Kind, OPCODES, OpcodeInfo
+from repro.isa.registers import (
+    ARG_REGISTERS,
+    CALLEE_SAVED_REGISTERS,
+    NUM_REGISTERS,
+    REGISTER_NAMES,
+    register_index,
+    register_name,
+)
+
+__all__ = [
+    "ARG_REGISTERS",
+    "CALLEE_SAVED_REGISTERS",
+    "DATA_BASE",
+    "Format",
+    "GP_VALUE",
+    "HEAP_BASE",
+    "Instruction",
+    "Kind",
+    "MAX_REGISTER_ARGS",
+    "NUM_REGISTERS",
+    "OPCODES",
+    "OpcodeInfo",
+    "REGISTER_NAMES",
+    "STACK_TOP",
+    "Syscall",
+    "TEXT_BASE",
+    "register_index",
+    "register_name",
+    "segment_of",
+]

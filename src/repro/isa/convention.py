@@ -1,0 +1,53 @@
+"""ABI constants: memory map, calling convention, syscall numbers.
+
+The memory layout mirrors the classic MIPS/SPIM layout the paper's
+environment used: text low, static data at 0x1000_0000 addressed through
+``$gp``, a heap well above the data segment, and a stack growing down from
+just below 0x8000_0000.  The analyses classify addresses into segments
+using these boundaries (data = "global", heap = "heap", stack = local).
+"""
+
+from __future__ import annotations
+
+TEXT_BASE = 0x0040_0000
+DATA_BASE = 0x1000_0000
+#: $gp points 32KB into the data segment so that the first 64KB of static
+#: data is reachable with a single signed 16-bit offset.
+GP_OFFSET = 0x8000
+GP_VALUE = DATA_BASE + GP_OFFSET
+HEAP_BASE = 0x3000_0000
+STACK_TOP = 0x7FFF_FF00
+#: Stack may grow down to this address before the simulator faults.
+STACK_LIMIT = 0x7000_0000
+
+#: Number of argument registers ($a0..$a3); MiniC caps functions at this.
+MAX_REGISTER_ARGS = 4
+
+
+class Syscall:
+    """Syscall numbers (selected in ``$v0``), SPIM-flavoured.
+
+    The services that *consume input* (``READ_INT``, ``READ_CHAR``) are the
+    boundary where the global analysis tags values as *external input*.
+    """
+
+    PRINT_INT = 1
+    PRINT_STRING = 4
+    READ_INT = 5
+    SBRK = 9
+    EXIT = 10
+    PRINT_CHAR = 11
+    READ_CHAR = 12
+
+
+def segment_of(address: int) -> str:
+    """Classify an address into ``text``/``data``/``heap``/``stack``/``other``."""
+    if DATA_BASE <= address < HEAP_BASE:
+        return "data"
+    if HEAP_BASE <= address < STACK_LIMIT:
+        return "heap"
+    if STACK_LIMIT <= address <= STACK_TOP:
+        return "stack"
+    if TEXT_BASE <= address < DATA_BASE:
+        return "text"
+    return "other"

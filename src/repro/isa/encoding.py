@@ -1,0 +1,205 @@
+"""Binary encoding/decoding of instructions to real MIPS-I machine words.
+
+The simulator executes decoded :class:`~repro.isa.instructions.Instruction`
+objects directly, but the encoder exists so that programs can be emitted
+as genuine 32-bit MIPS-I machine code (e.g. to inspect code size, build
+binary traces, or cross-check against an external disassembler).  The
+opcode/funct numbers follow the MIPS-I manual.
+
+Encoding formats::
+
+    R: | op:6 | rs:5 | rt:5 | rd:5 | shamt:5 | funct:6 |
+    I: | op:6 | rs:5 | rt:5 |        imm:16           |
+    J: | op:6 |            target:26                  |
+
+Branch immediates are PC-relative word offsets from the slot after the
+branch (standard MIPS), so :func:`decode` needs the instruction's own
+address to reconstruct absolute targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.isa.bits import to_s16, to_u16
+from repro.isa.instructions import Format, Instruction, Kind, OPCODES
+from repro.isa.registers import RA
+
+
+class EncodingError(Exception):
+    """Instruction cannot be encoded/decoded."""
+
+
+#: R-type (SPECIAL, op=0) funct codes.
+_FUNCT: Dict[str, int] = {
+    "sll": 0x00, "srl": 0x02, "sra": 0x03,
+    "sllv": 0x04, "srlv": 0x06, "srav": 0x07,
+    "jr": 0x08, "jalr": 0x09, "syscall": 0x0C, "break": 0x0D,
+    "mfhi": 0x10, "mflo": 0x12,
+    "mult": 0x18, "multu": 0x19, "div": 0x1A, "divu": 0x1B,
+    "add": 0x20, "addu": 0x21, "sub": 0x22, "subu": 0x23,
+    "and": 0x24, "or": 0x25, "xor": 0x26, "nor": 0x27,
+    "slt": 0x2A, "sltu": 0x2B,
+}
+_FUNCT_REVERSE = {code: name for name, code in _FUNCT.items()}
+
+#: I/J-type primary opcodes.
+_PRIMARY: Dict[str, int] = {
+    "j": 0x02, "jal": 0x03,
+    "beq": 0x04, "bne": 0x05, "blez": 0x06, "bgtz": 0x07,
+    "addi": 0x08, "addiu": 0x09, "slti": 0x0A, "sltiu": 0x0B,
+    "andi": 0x0C, "ori": 0x0D, "xori": 0x0E, "lui": 0x0F,
+    "lb": 0x20, "lh": 0x21, "lw": 0x23, "lbu": 0x24, "lhu": 0x25,
+    "sb": 0x28, "sh": 0x29, "sw": 0x2B,
+}
+_PRIMARY_REVERSE = {code: name for name, code in _PRIMARY.items()}
+
+#: REGIMM (op=1) rt codes.
+_REGIMM = {"bltz": 0x00, "bgez": 0x01}
+_REGIMM_REVERSE = {code: name for name, code in _REGIMM.items()}
+
+
+def _branch_offset(instr: Instruction) -> int:
+    offset = (instr.target - (instr.addr + 4)) >> 2
+    if not -(2**15) <= offset < 2**15:
+        raise EncodingError(f"branch offset out of range at {instr.addr:#x}")
+    return to_u16(offset)
+
+
+def encode(instr: Instruction) -> int:
+    """Encode a decoded instruction into a 32-bit MIPS-I word."""
+    name = instr.op.name
+    fmt = instr.op.fmt
+
+    if name == "nop":
+        return 0  # sll $zero, $zero, 0
+
+    if name in _FUNCT:
+        word = _FUNCT[name]
+        if fmt in (Format.R3, Format.R3_SHIFTV):
+            return word | (instr.rd << 11) | (instr.rt << 16) | (instr.rs << 21)
+        if fmt == Format.SHIFT:
+            return word | (instr.shamt << 6) | (instr.rd << 11) | (instr.rt << 16)
+        if fmt == Format.JR:
+            return word | (instr.rs << 21)
+        if fmt == Format.JALR:
+            return word | (instr.rd << 11) | (instr.rs << 21)
+        if fmt == Format.MULDIV:
+            return word | (instr.rt << 16) | (instr.rs << 21)
+        if fmt == Format.MFHILO:
+            return word | (instr.rd << 11)
+        if fmt == Format.BARE:
+            return word
+        raise EncodingError(f"unhandled R-type format for {name}")
+
+    if name in _REGIMM:
+        return (0x01 << 26) | (instr.rs << 21) | (_REGIMM[name] << 16) | _branch_offset(instr)
+
+    if name in _PRIMARY:
+        op = _PRIMARY[name] << 26
+        if fmt == Format.J:
+            return op | ((instr.target >> 2) & 0x03FF_FFFF)
+        if fmt == Format.BR2:
+            return op | (instr.rs << 21) | (instr.rt << 16) | _branch_offset(instr)
+        if fmt == Format.BR1:  # blez/bgtz: rt must be 0
+            return op | (instr.rs << 21) | _branch_offset(instr)
+        if fmt in (Format.I2, Format.MEM):
+            return op | (instr.rs << 21) | (instr.rt << 16) | to_u16(instr.imm)
+        if fmt == Format.LUI:
+            return op | (instr.rt << 16) | to_u16(instr.imm)
+        raise EncodingError(f"unhandled I-type format for {name}")
+
+    raise EncodingError(f"no encoding for {name}")
+
+
+def decode(word: int, addr: int = 0) -> Instruction:
+    """Decode a 32-bit MIPS-I word back into an Instruction."""
+    word &= 0xFFFFFFFF
+    primary = word >> 26
+    rs = (word >> 21) & 31
+    rt = (word >> 16) & 31
+    rd = (word >> 11) & 31
+    shamt = (word >> 6) & 31
+    imm16 = word & 0xFFFF
+
+    if primary == 0:  # SPECIAL
+        if word == 0:
+            return Instruction(OPCODES["nop"], addr=addr)
+        funct = word & 0x3F
+        name = _FUNCT_REVERSE.get(funct)
+        if name is None:
+            raise EncodingError(f"unknown funct {funct:#x}")
+        info = OPCODES[name]
+        if info.fmt in (Format.R3, Format.R3_SHIFTV):
+            return Instruction(info, rd=rd, rs=rs, rt=rt, addr=addr)
+        if info.fmt == Format.SHIFT:
+            return Instruction(info, rd=rd, rt=rt, shamt=shamt, addr=addr)
+        if info.fmt == Format.JR:
+            return Instruction(info, rs=rs, addr=addr)
+        if info.fmt == Format.JALR:
+            return Instruction(info, rd=rd or RA, rs=rs, addr=addr)
+        if info.fmt == Format.MULDIV:
+            return Instruction(info, rs=rs, rt=rt, addr=addr)
+        if info.fmt == Format.MFHILO:
+            return Instruction(info, rd=rd, addr=addr)
+        if info.fmt == Format.BARE:
+            return Instruction(info, addr=addr)
+        raise EncodingError(f"undecodable SPECIAL {name}")
+
+    if primary == 1:  # REGIMM
+        name = _REGIMM_REVERSE.get(rt)
+        if name is None:
+            raise EncodingError(f"unknown REGIMM rt {rt:#x}")
+        target = addr + 4 + (to_s16(imm16) << 2)
+        return Instruction(OPCODES[name], rs=rs, target=target, addr=addr)
+
+    name = _PRIMARY_REVERSE.get(primary)
+    if name is None:
+        raise EncodingError(f"unknown opcode {primary:#x}")
+    info = OPCODES[name]
+    if info.fmt == Format.J:
+        target = ((addr + 4) & 0xF000_0000) | ((word & 0x03FF_FFFF) << 2)
+        return Instruction(info, target=target, addr=addr)
+    if info.fmt == Format.BR2:
+        target = addr + 4 + (to_s16(imm16) << 2)
+        return Instruction(info, rs=rs, rt=rt, target=target, addr=addr)
+    if info.fmt == Format.BR1:
+        target = addr + 4 + (to_s16(imm16) << 2)
+        return Instruction(info, rs=rs, target=target, addr=addr)
+    if info.fmt in (Format.I2, Format.MEM):
+        imm = imm16 if info.unsigned_imm else to_s16(imm16)
+        return Instruction(info, rt=rt, rs=rs, imm=imm, addr=addr)
+    if info.fmt == Format.LUI:
+        return Instruction(info, rt=rt, imm=imm16, addr=addr)
+    raise EncodingError(f"undecodable {name}")
+
+
+def encode_program(instructions: List[Instruction]) -> bytes:
+    """Encode a text segment into little-endian machine code."""
+    out = bytearray()
+    for instr in instructions:
+        out.extend(encode(instr).to_bytes(4, "little"))
+    return bytes(out)
+
+
+def decode_program(code: bytes, base: int) -> List[Instruction]:
+    """Decode little-endian machine code back into instructions."""
+    if len(code) % 4:
+        raise EncodingError("code length not word-aligned")
+    return [
+        decode(int.from_bytes(code[offset : offset + 4], "little"), base + offset)
+        for offset in range(0, len(code), 4)
+    ]
+
+
+def equivalent(a: Instruction, b: Instruction) -> bool:
+    """Structural equality of two decoded instructions."""
+    return (
+        a.op.name == b.op.name
+        and a.rd == b.rd
+        and a.rs == b.rs
+        and a.rt == b.rt
+        and a.imm == b.imm
+        and a.shamt == b.shamt
+        and a.target == b.target
+    )

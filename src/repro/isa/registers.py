@@ -1,0 +1,63 @@
+"""Register file definition for the MIPS-I-like ISA.
+
+The register set and ABI names follow the MIPS o32 convention, which the
+paper's analyses depend on: arguments in ``$a0..$a3``, results in
+``$v0/$v1``, callee-saved ``$s0..$s7``, the global pointer ``$gp`` used for
+small-data addressing (the paper's "global address calculation" category),
+the stack pointer ``$sp`` (the paper's "SP" category), and ``$ra`` holding
+return addresses (the paper's "returns" category).
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+REGISTER_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+# Canonical register indices by ABI role.
+ZERO = 0
+AT = 1
+V0, V1 = 2, 3
+A0, A1, A2, A3 = 4, 5, 6, 7
+T0, T1, T2, T3, T4, T5, T6, T7 = 8, 9, 10, 11, 12, 13, 14, 15
+S0, S1, S2, S3, S4, S5, S6, S7 = 16, 17, 18, 19, 20, 21, 22, 23
+T8, T9 = 24, 25
+K0, K1 = 26, 27
+GP, SP, FP, RA = 28, 29, 30, 31
+
+ARG_REGISTERS = (A0, A1, A2, A3)
+RETURN_VALUE_REGISTERS = (V0, V1)
+CALLEE_SAVED_REGISTERS = (S0, S1, S2, S3, S4, S5, S6, S7)
+TEMP_REGISTERS = (T0, T1, T2, T3, T4, T5, T6, T7, T8, T9)
+
+_NAME_TO_INDEX = {name: index for index, name in enumerate(REGISTER_NAMES)}
+# Numeric aliases ($0..$31) are also accepted.
+for _i in range(NUM_REGISTERS):
+    _NAME_TO_INDEX[str(_i)] = _i
+# fp is also known as s8 in some toolchains.
+_NAME_TO_INDEX["s8"] = FP
+
+
+def register_index(name: str) -> int:
+    """Resolve a register name (with or without leading ``$``) to its index.
+
+    Raises ``KeyError`` for unknown names.
+    """
+    stripped = name[1:] if name.startswith("$") else name
+    return _NAME_TO_INDEX[stripped]
+
+
+def register_name(index: int) -> str:
+    """Return the canonical ABI name (``$``-prefixed) for a register index."""
+    return "$" + REGISTER_NAMES[index]
+
+
+def is_register_name(name: str) -> bool:
+    """True if ``name`` (with or without ``$``) denotes a register."""
+    stripped = name[1:] if name.startswith("$") else name
+    return stripped in _NAME_TO_INDEX

@@ -1,0 +1,25 @@
+"""MiniC: a small C-like language with a real compiler.
+
+MiniC is the substrate that plays the role of "gcc compiling C" in the
+paper: the eight synthetic workloads are written in it, and the compiler
+produces genuine MIPS-o32-style code — register argument passing,
+callee-saved prologue/epilogue, gp-relative global addressing, ``lui``/
+``ori`` synthesis of large constants — whose overheads are exactly the
+instruction classes the paper's local analysis measures.
+
+Public API: :func:`compile_source` (source -> runnable
+:class:`~repro.asm.program.Program`) and :func:`compile_to_assembly`.
+"""
+
+from repro.lang.compiler import compile_source, compile_to_assembly
+from repro.lang.errors import CodegenError, LexError, MiniCError, ParseError, SemaError
+
+__all__ = [
+    "CodegenError",
+    "LexError",
+    "MiniCError",
+    "ParseError",
+    "SemaError",
+    "compile_source",
+    "compile_to_assembly",
+]

@@ -1,0 +1,47 @@
+"""MiniC compiler driver: source -> assembly -> program image."""
+
+from __future__ import annotations
+
+from repro.asm import Program, assemble
+from repro.lang.codegen import generate
+from repro.lang.optimizer import optimize as run_optimizer, peephole_assembly
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+def compile_to_assembly(
+    source: str, optimize: bool = False, inline: bool = False
+) -> str:
+    """Compile MiniC source to assembly text.
+
+    With ``optimize=True`` the AST optimizer (constant folding, algebraic
+    simplification, strength reduction, dead-branch elimination) and an
+    assembly peephole run — the "-O1" used by the compiler-optimization
+    ablation.  ``inline=True`` additionally inlines single-return-
+    expression functions (the Section 6 inlining experiment); it can be
+    used with or without the optimizer.
+    """
+    unit = parse(source)
+    sema = analyze(unit)
+    if inline:
+        from repro.lang.inliner import inline_small_functions
+
+        inline_small_functions(sema)
+    if optimize:
+        run_optimizer(unit)
+    text = generate(sema)
+    if optimize:
+        text = peephole_assembly(text)
+    return text
+
+
+def compile_source(
+    source: str,
+    filename: str = "<minic>",
+    optimize: bool = False,
+    inline: bool = False,
+) -> Program:
+    """Compile MiniC source all the way to a runnable program image."""
+    return assemble(
+        compile_to_assembly(source, optimize=optimize, inline=inline), filename
+    )

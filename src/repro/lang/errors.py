@@ -1,0 +1,30 @@
+"""MiniC compiler error types."""
+
+from __future__ import annotations
+
+
+class MiniCError(Exception):
+    """A compile-time error, with source location."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")
+
+
+class LexError(MiniCError):
+    """A tokenization error."""
+
+
+class ParseError(MiniCError):
+    """A syntax error."""
+
+
+class SemaError(MiniCError):
+    """A semantic (type / scope) error."""
+
+
+class CodegenError(MiniCError):
+    """An error during code generation (e.g. expression too deep)."""

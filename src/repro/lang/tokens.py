@@ -1,0 +1,78 @@
+"""Token definitions for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "char",
+        "void",
+        "if",
+        "else",
+        "while",
+        "do",
+        "switch",
+        "case",
+        "default",
+        "for",
+        "return",
+        "break",
+        "continue",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can match greedily.
+MULTI_CHAR_OPERATORS = (
+    "<<=",
+    ">>=",
+    "++",
+    "--",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+)
+
+SINGLE_CHAR_OPERATORS = "+-*/%<>=!&|^~;,(){}[]?:"
+
+
+class TokenKind:
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    CHAR = "char"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+    value: object = None
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == TokenKind.OP and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,98 @@
+"""MiniC type system: int, char, void, pointers, arrays, functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Type:
+    """Base class for MiniC types."""
+
+    size: int = 0
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self in (INT, CHAR)
+
+    @property
+    def is_scalar(self) -> bool:
+        """Fits in one register: arithmetic or pointer."""
+        return self.is_arithmetic or self.is_pointer
+
+    def decayed(self) -> "Type":
+        """Array-to-pointer decay; other types unchanged."""
+        if isinstance(self, ArrayType):
+            return PointerType(self.element)
+        return self
+
+
+@dataclass(frozen=True)
+class PrimType(Type):
+    name: str
+    size: int = 4
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = PrimType("int", 4)
+CHAR = PrimType("char", 1)
+VOID = PrimType("void", 0)
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    pointee: Type
+    size: int = 4
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    length: int
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.element.size * self.length
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.length}]"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    ret: Type
+    params: Tuple[Type, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(p) for p in self.params)
+        return f"{self.ret}({args})"
+
+
+def compatible_assignment(target: Type, value: Type) -> bool:
+    """Loose C-flavoured assignment compatibility."""
+    target = target.decayed()
+    value = value.decayed()
+    if target.is_arithmetic and value.is_arithmetic:
+        return True
+    if target.is_pointer and value.is_pointer:
+        return True
+    # Allow integer<->pointer conversion (needed for heap allocators and
+    # sentinel values, as in pre-ANSI C).
+    if target.is_pointer and value.is_arithmetic:
+        return True
+    if target.is_arithmetic and value.is_pointer:
+        return True
+    return False

@@ -1,0 +1,40 @@
+"""Functional simulation substrate.
+
+:class:`Simulator` executes a :class:`~repro.asm.program.Program` and
+streams per-instruction :class:`StepRecord` events plus call/return/
+syscall events to attached :class:`Analyzer` objects — the instrumentation
+backend that the paper built on SimpleScalar.
+"""
+
+from repro.sim.debug import Debugger, DebugStop
+from repro.sim.errors import SimError
+from repro.sim.events import CallEvent, ReturnEvent, StepRecord, SyscallEvent
+from repro.sim.memory import Memory
+from repro.sim.observer import Analyzer
+from repro.sim.simulator import HALT_ADDRESS, RunResult, Simulator
+from repro.sim.syscalls import EOF_WORD, InputStream, SyscallHandler
+from repro.sim.timing import TimingConfig, TimingModel, TimingReport
+from repro.sim.trace import Trace, TraceRecorder
+
+__all__ = [
+    "Analyzer",
+    "CallEvent",
+    "DebugStop",
+    "Debugger",
+    "EOF_WORD",
+    "HALT_ADDRESS",
+    "InputStream",
+    "Memory",
+    "ReturnEvent",
+    "RunResult",
+    "SimError",
+    "Simulator",
+    "StepRecord",
+    "SyscallEvent",
+    "SyscallHandler",
+    "TimingConfig",
+    "TimingModel",
+    "TimingReport",
+    "Trace",
+    "TraceRecorder",
+]

@@ -1,0 +1,183 @@
+"""Interactive debugger over the functional simulator.
+
+Built on the simulator's pause/resume support: a hook analyzer watches
+the event stream and requests a pause when a breakpoint or watchpoint
+hits (or a single-step budget runs out).  Because the hook observes
+*retired* instructions, the debugger stops **after** executing the
+instruction that triggered — the machine state already reflects it.
+
+Example::
+
+    dbg = Debugger(program, input_data=b"...")
+    dbg.add_breakpoint("encode_block")      # function symbol or address
+    dbg.add_watchpoint(program.symbols["total"])
+    stop = dbg.run()
+    while stop.reason == "breakpoint":
+        print(hex(stop.pc), dbg.read_register("$a0"))
+        stop = dbg.cont()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Union
+
+from repro.asm.program import Program
+from repro.isa.registers import register_index
+from repro.sim.errors import SimError
+from repro.sim.events import StepRecord
+from repro.sim.observer import Analyzer
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class DebugStop:
+    """Why and where the debugger stopped."""
+
+    #: "breakpoint" | "watchpoint" | "step" | "halt" | "exit" | "limit"
+    reason: str
+    #: pc of the instruction that triggered (0 for program end).
+    pc: int
+    #: For watchpoints: the memory word that was touched.
+    address: Optional[int] = None
+    #: Total instructions executed so far.
+    instructions: int = 0
+    #: Program output so far.
+    output: str = ""
+
+
+class _DebugHook(Analyzer):
+    """Watches retired instructions for breakpoint/watchpoint hits."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        self.breakpoints: Set[int] = set()
+        self.watch_words: Set[int] = set()
+        self.step_budget: Optional[int] = None
+        self.pending: Optional[DebugStop] = None
+
+    def on_step(self, record: StepRecord) -> None:
+        if record.pc in self.breakpoints:
+            self.pending = DebugStop("breakpoint", record.pc, None, record.index)
+            self.simulator.request_pause()
+            return
+        if self.watch_words and record.mem_addr is not None:
+            word = record.mem_addr & ~3
+            if word in self.watch_words:
+                self.pending = DebugStop("watchpoint", record.pc, word, record.index)
+                self.simulator.request_pause()
+                return
+        if self.step_budget is not None:
+            self.step_budget -= 1
+            if self.step_budget <= 0:
+                self.step_budget = None
+                self.pending = DebugStop("step", record.pc, None, record.index)
+                self.simulator.request_pause()
+
+
+class Debugger:
+    """Breakpoints, watchpoints, and single-stepping over a program."""
+
+    def __init__(
+        self,
+        program: Program,
+        input_data: bytes = b"",
+        analyzers: Sequence[Analyzer] = (),
+    ) -> None:
+        self.program = program
+        self.simulator = Simulator(program, input_data=input_data)
+        for analyzer in analyzers:
+            self.simulator.attach(analyzer)
+        self._hook = _DebugHook(self.simulator)
+        self.simulator.attach(self._hook)
+        self._finished = False
+
+    # -- configuration -----------------------------------------------------
+
+    def _resolve(self, location: Union[int, str]) -> int:
+        if isinstance(location, int):
+            return location
+        address = self.program.symbols.get(location)
+        if address is None:
+            raise KeyError(f"unknown symbol {location!r}")
+        return address
+
+    def add_breakpoint(self, location: Union[int, str]) -> int:
+        """Break after executing the instruction at a symbol/address."""
+        address = self._resolve(location)
+        self._hook.breakpoints.add(address)
+        return address
+
+    def remove_breakpoint(self, location: Union[int, str]) -> None:
+        self._hook.breakpoints.discard(self._resolve(location))
+
+    def add_watchpoint(self, location: Union[int, str]) -> int:
+        """Break on any load or store touching the given word."""
+        address = self._resolve(location) & ~3
+        self._hook.watch_words.add(address)
+        return address
+
+    def remove_watchpoint(self, location: Union[int, str]) -> None:
+        self._hook.watch_words.discard(self._resolve(location) & ~3)
+
+    # -- execution -------------------------------------------------------------
+
+    def _stop_from(self, result) -> DebugStop:
+        if result.stop_reason == "paused" and self._hook.pending is not None:
+            pending = self._hook.pending
+            self._hook.pending = None
+            return DebugStop(
+                pending.reason,
+                pending.pc,
+                pending.address,
+                pending.instructions,
+                result.output,
+            )
+        self._finished = True
+        return DebugStop(
+            result.stop_reason,
+            self.simulator.pc,
+            None,
+            result.analyzed_instructions,
+            result.output,
+        )
+
+    def run(self, limit: Optional[int] = None) -> DebugStop:
+        """Start (or continue) execution until the next stop."""
+        if self._finished:
+            raise SimError("program already finished")
+        if self.simulator.paused:
+            return self._stop_from(self.simulator.resume())
+        return self._stop_from(self.simulator.run(limit=limit))
+
+    def cont(self) -> DebugStop:
+        """Continue after a stop (alias for :meth:`run`)."""
+        return self.run()
+
+    def step(self, count: int = 1) -> DebugStop:
+        """Execute ``count`` instructions, then stop."""
+        self._hook.step_budget = count
+        return self.run()
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def read_register(self, name: str) -> int:
+        return self.simulator.regs[register_index(name)]
+
+    def read_word(self, address: Union[int, str]) -> int:
+        return self.simulator.memory.read_word(self._resolve(address))
+
+    def current_function(self) -> Optional[str]:
+        info = self.program.function_at(self.simulator.pc)
+        return info.name if info else None
+
+    def backtrace(self) -> List[str]:
+        """Function names on the live call stack, outermost first."""
+        return [
+            frame.function.name if frame.function else "<unknown>"
+            for frame in self.simulator.call_stack
+        ]

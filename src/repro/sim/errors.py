@@ -1,0 +1,11 @@
+"""Simulator error types."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """A runtime fault in the simulated machine (bad access, bad pc...)."""
+
+    def __init__(self, message: str, pc: int = 0) -> None:
+        self.pc = pc
+        super().__init__(f"pc={pc:#010x}: {message}" if pc else message)

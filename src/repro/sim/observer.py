@@ -1,0 +1,42 @@
+"""Analyzer (observer) protocol.
+
+Every analysis in :mod:`repro.core` subclasses :class:`Analyzer` and is
+attached to a :class:`~repro.sim.simulator.Simulator` (or fed a synthetic
+event stream directly in tests).  The simulator delivers:
+
+* ``on_start(program)`` once before execution;
+* ``on_call`` / ``on_return`` / ``on_syscall`` at function and syscall
+  boundaries — *including* during any warm-up (skip) window, flagged via
+  the event's ``warmup`` attribute, so analyzers can keep structural
+  state (call stacks) consistent without counting warm-up activity;
+* ``on_step(record)`` for every retired instruction after the warm-up
+  window;
+* ``on_finish()`` once after execution.
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Program
+from repro.sim.events import CallEvent, ReturnEvent, StepRecord, SyscallEvent
+
+
+class Analyzer:
+    """Base class for execution-stream analyses.  All hooks are no-ops."""
+
+    def on_start(self, program: Program) -> None:
+        """Called once before the first instruction executes."""
+
+    def on_step(self, record: StepRecord) -> None:
+        """Called for every retired instruction (after any skip window)."""
+
+    def on_call(self, event: CallEvent) -> None:
+        """Called at every function call boundary."""
+
+    def on_return(self, event: ReturnEvent) -> None:
+        """Called at every function return boundary."""
+
+    def on_syscall(self, event: SyscallEvent) -> None:
+        """Called after every syscall."""
+
+    def on_finish(self) -> None:
+        """Called once when execution stops."""

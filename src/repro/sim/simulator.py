@@ -1,0 +1,464 @@
+"""Functional simulator for the MIPS-I-like ISA.
+
+The simulator retires one instruction at a time, maintaining architectural
+state (registers, hi/lo, memory) and a call stack, and streams
+:class:`~repro.sim.events.StepRecord` / call / return / syscall events to
+attached :class:`~repro.sim.observer.Analyzer` objects.  It plays the role
+SimpleScalar's functional simulator played in the paper.
+
+Execution windows mirror the paper's methodology: ``run(skip=..., limit=
+...)`` executes ``skip`` instructions delivering only structural events
+(flagged ``warmup=True``), then delivers full step records for up to
+``limit`` instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.asm.program import FunctionInfo, Program
+from repro.isa import bits
+from repro.isa.convention import GP_VALUE, STACK_TOP
+from repro.isa.instructions import Format, Kind
+from repro.isa.registers import A0, GP, NUM_REGISTERS, RA, SP, V0
+from repro.sim.errors import SimError
+from repro.sim.events import CallEvent, ReturnEvent, StepRecord, SyscallEvent
+from repro.sim.memory import Memory
+from repro.sim.observer import Analyzer
+from repro.sim.syscalls import InputStream, SyscallHandler
+
+#: ``jr $ra`` to this address halts the machine (initial $ra value).
+HALT_ADDRESS = 0
+
+_EMPTY: Tuple[int, ...] = ()
+
+
+@dataclass
+class RunResult:
+    """Summary of one simulation run."""
+
+    #: Instructions retired inside the analysis window (post-skip).
+    analyzed_instructions: int
+    #: All instructions retired, including the warm-up window.
+    total_instructions: int
+    #: Why execution stopped: ``exit`` / ``halt`` / ``limit``.
+    stop_reason: str
+    exit_code: int
+    output: str
+
+
+@dataclass
+class _Frame:
+    function: Optional[FunctionInfo]
+    return_addr: int
+
+
+class Simulator:
+    """Executes a :class:`Program`, streaming events to analyzers."""
+
+    def __init__(
+        self,
+        program: Program,
+        input_data: bytes = b"",
+        analyzers: Sequence[Analyzer] = (),
+    ) -> None:
+        self.program = program
+        self.memory = Memory()
+        self.memory.load_bytes(program.data_base, bytes(program.data))
+        self.regs: List[int] = [0] * NUM_REGISTERS
+        self.regs[GP] = GP_VALUE
+        self.regs[SP] = STACK_TOP
+        self.regs[RA] = HALT_ADDRESS
+        self.hi = 0
+        self.lo = 0
+        self.pc = program.entry
+        self.syscalls = SyscallHandler(InputStream(input_data))
+        self.call_stack: List[_Frame] = []
+        self._analyzers: List[Analyzer] = list(analyzers)
+        self._started = False
+        self._paused = False
+        self._pause_requested = False
+        self._total = 0
+        self._analyzed = 0
+        self._limit: Optional[int] = None
+        self._skip = 0
+
+    def attach(self, analyzer: Analyzer) -> None:
+        """Attach an analyzer before running."""
+        if self._started:
+            raise SimError("cannot attach analyzers after run() started")
+        self._analyzers.append(analyzer)
+
+    @property
+    def output(self) -> str:
+        return self.syscalls.output_text()
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def request_pause(self) -> None:
+        """Ask the simulator to stop at the next instruction boundary.
+
+        Callable from analyzer hooks (the basis for breakpoints and
+        watchpoints); resume with :meth:`resume`.
+        """
+        self._pause_requested = True
+
+    # ------------------------------------------------------------------
+
+    def _emit_call(
+        self, pc: int, target: int, return_addr: int, warmup: bool
+    ) -> None:
+        function = self.program.function_by_entry(target)
+        argc = function.num_args if function is not None else 0
+        args = tuple(self.regs[A0 : A0 + argc])
+        self.call_stack.append(_Frame(function, return_addr))
+        event = CallEvent(
+            pc, target, return_addr, function, args, len(self.call_stack), self.regs[SP], warmup
+        )
+        for analyzer in self._analyzers:
+            analyzer.on_call(event)
+
+    def _emit_return(self, pc: int, target: int, warmup: bool) -> None:
+        function = None
+        # Pop frames down to (and including) the one matching this return
+        # target; tolerates non-matching frames from tail-call-like code.
+        while self.call_stack:
+            frame = self.call_stack.pop()
+            if frame.return_addr == target or not self.call_stack:
+                function = frame.function
+                break
+        event = ReturnEvent(
+            pc, target, function, self.regs[V0], len(self.call_stack) + 1, warmup
+        )
+        for analyzer in self._analyzers:
+            analyzer.on_return(event)
+
+    # ------------------------------------------------------------------
+
+    def run(self, limit: Optional[int] = None, skip: int = 0) -> RunResult:
+        """Execute the program.
+
+        ``skip`` instructions run first in warm-up mode (structural events
+        only); then up to ``limit`` instructions are executed with full
+        step records (``limit=None`` runs to completion).
+
+        If an analyzer calls :meth:`request_pause`, execution stops at the
+        next instruction boundary with ``stop_reason == "paused"`` and can
+        be continued with :meth:`resume`.
+        """
+        if self._started:
+            raise SimError("Simulator.run() may only be called once; use resume()")
+        self._started = True
+        self._limit = limit
+        self._skip = skip
+
+        program = self.program
+        for analyzer in self._analyzers:
+            analyzer.on_start(program)
+        # Program entry is modelled as a call so the call stack is rooted.
+        self._emit_call(self.pc, self.pc, HALT_ADDRESS, warmup=skip > 0)
+        return self._execute()
+
+    def resume(self, additional_limit: Optional[int] = None) -> RunResult:
+        """Continue a paused simulation (optionally extending the limit)."""
+        if not self._paused:
+            raise SimError("resume() requires a paused simulation")
+        self._paused = False
+        if additional_limit is not None:
+            self._limit = (self._limit or self._analyzed) + additional_limit
+        return self._execute()
+
+    def _execute(self) -> RunResult:
+        program = self.program
+        limit = self._limit
+        skip = self._skip
+        regs = self.regs
+        memory = self.memory
+        text = program.text
+        text_base = program.text_base
+        text_len = len(text)
+        analyzers = self._analyzers
+        syscalls = self.syscalls
+
+        pc = self.pc
+        total = self._total
+        analyzed = self._analyzed
+        stop_reason = "halt"
+
+        while True:
+            if pc == HALT_ADDRESS:
+                stop_reason = "halt"
+                break
+            index = (pc - text_base) >> 2
+            if index < 0 or index >= text_len or pc & 3:
+                raise SimError("pc outside text segment", pc)
+            if limit is not None and analyzed >= limit:
+                stop_reason = "limit"
+                break
+            if self._pause_requested:
+                self._pause_requested = False
+                stop_reason = "paused"
+                break
+
+            instr = text[index]
+            op = instr.op
+            name = op.name
+            kind = op.kind
+            next_pc = pc + 4
+            warmup = total < skip
+
+            inputs: Tuple[int, ...] = _EMPTY
+            outputs: Tuple[int, ...] = _EMPTY
+            dest_reg: Optional[int] = None
+            dest_value = 0
+            mem_addr: Optional[int] = None
+            store_value: Optional[int] = None
+            call_edge: Optional[Tuple[int, int]] = None  # (target, return_addr)
+            return_edge: Optional[int] = None
+            syscall_event: Optional[SyscallEvent] = None
+            halt_after = False
+
+            fmt = op.fmt
+            if fmt == Format.I2:
+                a = regs[instr.rs]
+                imm = instr.imm
+                inputs = (a,)
+                if name == "addiu" or name == "addi":
+                    result = (a + imm) & 0xFFFFFFFF
+                elif name == "andi":
+                    result = a & imm
+                elif name == "ori":
+                    result = a | imm
+                elif name == "xori":
+                    result = a ^ imm
+                elif name == "slti":
+                    result = 1 if bits.to_s32(a) < imm else 0
+                else:  # sltiu
+                    result = 1 if a < bits.to_u32(imm) else 0
+                outputs = (result,)
+                dest_reg, dest_value = instr.rt, result
+                if dest_reg:
+                    regs[dest_reg] = result
+            elif kind == Kind.LOAD:
+                base = regs[instr.rs]
+                address = (base + instr.imm) & 0xFFFFFFFF
+                inputs = (base,)
+                mem_addr = address
+                width = op.mem_width
+                if width == 4:
+                    value = memory.read_word(address)
+                elif width == 2:
+                    value = memory.read_half(address)
+                    if op.signed_load:
+                        value = bits.to_u32(bits.to_s16(value))
+                else:
+                    value = memory.read_byte(address)
+                    if op.signed_load:
+                        value = bits.to_u32(bits.to_s8(value))
+                outputs = (value,)
+                dest_reg, dest_value = instr.rt, value
+                if dest_reg:
+                    regs[dest_reg] = value
+            elif kind == Kind.STORE:
+                data = regs[instr.rt]
+                base = regs[instr.rs]
+                address = (base + instr.imm) & 0xFFFFFFFF
+                inputs = (data, base)
+                mem_addr = address
+                store_value = data
+                width = op.mem_width
+                if width == 4:
+                    memory.write_word(address, data)
+                elif width == 2:
+                    memory.write_half(address, data)
+                else:
+                    memory.write_byte(address, data)
+            elif fmt == Format.R3:
+                a = regs[instr.rs]
+                b = regs[instr.rt]
+                inputs = (a, b)
+                if name == "addu" or name == "add":
+                    result = (a + b) & 0xFFFFFFFF
+                elif name == "subu" or name == "sub":
+                    result = (a - b) & 0xFFFFFFFF
+                elif name == "and":
+                    result = a & b
+                elif name == "or":
+                    result = a | b
+                elif name == "xor":
+                    result = a ^ b
+                elif name == "nor":
+                    result = (~(a | b)) & 0xFFFFFFFF
+                elif name == "slt":
+                    result = 1 if bits.to_s32(a) < bits.to_s32(b) else 0
+                else:  # sltu
+                    result = 1 if a < b else 0
+                outputs = (result,)
+                dest_reg, dest_value = instr.rd, result
+                if dest_reg:
+                    regs[dest_reg] = result
+            elif fmt == Format.SHIFT:
+                value = regs[instr.rt]
+                inputs = (value,)
+                if name == "sll":
+                    result = (value << instr.shamt) & 0xFFFFFFFF
+                elif name == "srl":
+                    result = value >> instr.shamt
+                else:  # sra
+                    result = bits.sra32(value, instr.shamt)
+                outputs = (result,)
+                dest_reg, dest_value = instr.rd, result
+                if dest_reg:
+                    regs[dest_reg] = result
+            elif fmt == Format.R3_SHIFTV:
+                value = regs[instr.rt]
+                amount = regs[instr.rs]
+                inputs = (value, amount)
+                if name == "sllv":
+                    result = (value << (amount & 31)) & 0xFFFFFFFF
+                elif name == "srlv":
+                    result = value >> (amount & 31)
+                else:  # srav
+                    result = bits.sra32(value, amount)
+                outputs = (result,)
+                dest_reg, dest_value = instr.rd, result
+                if dest_reg:
+                    regs[dest_reg] = result
+            elif kind == Kind.BRANCH:
+                a = regs[instr.rs]
+                if fmt == Format.BR2:
+                    b = regs[instr.rt]
+                    inputs = (a, b)
+                    taken = (a == b) if name == "beq" else (a != b)
+                else:
+                    inputs = (a,)
+                    signed = bits.to_s32(a)
+                    if name == "blez":
+                        taken = signed <= 0
+                    elif name == "bgtz":
+                        taken = signed > 0
+                    elif name == "bltz":
+                        taken = signed < 0
+                    else:  # bgez
+                        taken = signed >= 0
+                outputs = (1,) if taken else (0,)
+                if taken:
+                    next_pc = instr.target
+            elif fmt == Format.LUI:
+                result = (instr.imm << 16) & 0xFFFFFFFF
+                outputs = (result,)
+                dest_reg, dest_value = instr.rt, result
+                if dest_reg:
+                    regs[dest_reg] = result
+            elif kind == Kind.JUMP:
+                next_pc = instr.target
+            elif kind == Kind.CALL:
+                if fmt == Format.J:  # jal
+                    target = instr.target
+                    link_reg = RA
+                else:  # jalr
+                    target = regs[instr.rs]
+                    inputs = (target,)
+                    link_reg = instr.rd
+                return_addr = pc + 4
+                dest_reg, dest_value = link_reg, return_addr
+                if link_reg:
+                    regs[link_reg] = return_addr
+                next_pc = target
+                call_edge = (target, return_addr)
+            elif kind == Kind.JUMP_REG:
+                target = regs[instr.rs]
+                inputs = (target,)
+                next_pc = target
+                if instr.rs == RA:
+                    return_edge = target
+            elif kind == Kind.MULDIV:
+                a = regs[instr.rs]
+                b = regs[instr.rt]
+                inputs = (a, b)
+                if name == "mult":
+                    self.hi, self.lo = bits.mult32(a, b)
+                elif name == "multu":
+                    self.hi, self.lo = bits.multu32(a, b)
+                elif name == "div":
+                    self.hi, self.lo = bits.div32(a, b)
+                else:  # divu
+                    self.hi, self.lo = bits.divu32(a, b)
+                outputs = (self.hi, self.lo)
+            elif kind == Kind.MFHILO:
+                value = self.hi if name == "mfhi" else self.lo
+                inputs = (value,)
+                outputs = (value,)
+                dest_reg, dest_value = instr.rd, value
+                if dest_reg:
+                    regs[dest_reg] = value
+            elif kind == Kind.SYSCALL:
+                service = regs[V0]
+                arg = regs[A0]
+                inputs = (service, arg)
+                result, halt_after = syscalls.handle(service, arg, memory)
+                if result is not None:
+                    outputs = (result,)
+                    dest_reg, dest_value = V0, result
+                    regs[V0] = result
+                syscall_event = SyscallEvent(
+                    pc,
+                    service,
+                    arg,
+                    result,
+                    service in SyscallHandler.INPUT_SERVICES,
+                    service in SyscallHandler.OUTPUT_SERVICES,
+                    warmup,
+                )
+            elif kind == Kind.NOP:
+                pass
+            else:  # pragma: no cover - opcode table is exhaustive
+                raise SimError(f"unimplemented opcode {name}", pc)
+
+            total += 1
+            if not warmup:
+                analyzed += 1
+                record = StepRecord(
+                    analyzed,
+                    pc,
+                    instr,
+                    inputs,
+                    outputs,
+                    dest_reg,
+                    dest_value,
+                    mem_addr,
+                    store_value,
+                )
+                for analyzer in analyzers:
+                    analyzer.on_step(record)
+            if syscall_event is not None:
+                for analyzer in analyzers:
+                    analyzer.on_syscall(syscall_event)
+            if call_edge is not None:
+                self._emit_call(pc, call_edge[0], call_edge[1], warmup)
+            elif return_edge is not None:
+                self._emit_return(pc, return_edge, warmup)
+
+            if halt_after:
+                stop_reason = "exit"
+                break
+            pc = next_pc
+
+        self.pc = pc
+        self._total = total
+        self._analyzed = analyzed
+        if stop_reason == "paused":
+            self._paused = True
+        else:
+            for analyzer in analyzers:
+                analyzer.on_finish()
+        return RunResult(
+            analyzed_instructions=analyzed,
+            total_instructions=total,
+            stop_reason=stop_reason,
+            exit_code=syscalls.exit_code,
+            output=syscalls.output_text(),
+        )

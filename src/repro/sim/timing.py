@@ -1,0 +1,207 @@
+"""Trace-driven timing model.
+
+The paper's Section 7 motivates exploiting repetition with hardware
+(reuse buffers, value predictors) because it shortens execution.  The
+functional simulator has no notion of time, so this module adds one as
+an *analyzer*: it consumes the same per-instruction event stream and
+charges cycles according to a simple single-issue in-order machine:
+
+* one base cycle per instruction;
+* multi-cycle functional units (multiply, divide);
+* an instruction cache and a data cache (set-associative, LRU) with a
+  fixed miss penalty each;
+* a 2-bit branch history table with a misprediction penalty;
+* a fixed syscall cost.
+
+Composing it with a :class:`~repro.core.reuse_buffer.ReuseBuffer` (via
+``reuse_provider``) models dynamic instruction reuse the way Sodani &
+Sohi's ISCA'97 scheme does: a reused instruction bypasses its functional
+unit and data-cache access and completes in the base cycle, and a reused
+branch resolves without misprediction.  The speedup ablation
+(``benchmarks/test_ablation_reuse_speedup.py``) builds on exactly this.
+
+The defaults are illustrative of a mid-90s in-order core; they set the
+*scale* of the speedups, not the qualitative result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Kind
+from repro.sim.events import StepRecord
+from repro.sim.observer import Analyzer
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Machine parameters for the timing model."""
+
+    #: Extra (stall) cycles beyond the base cycle.
+    mult_latency: int = 3
+    div_latency: int = 11
+    syscall_cost: int = 10
+    #: Caches: total lines, associativity, bytes per line, miss penalty.
+    icache_lines: int = 128
+    icache_assoc: int = 2
+    dcache_lines: int = 128
+    dcache_assoc: int = 2
+    line_bytes: int = 16
+    cache_miss_penalty: int = 20
+    #: Branch predictor: 2-bit counters, this many BHT entries.
+    bht_entries: int = 512
+    branch_mispredict_penalty: int = 3
+
+
+class _Cache:
+    """A small set-associative LRU cache of line addresses."""
+
+    __slots__ = ("num_sets", "assoc", "line_shift", "sets", "hits", "misses")
+
+    def __init__(self, lines: int, assoc: int, line_bytes: int) -> None:
+        if lines % assoc:
+            raise ValueError("lines must be a multiple of associativity")
+        self.num_sets = lines // assoc
+        self.assoc = assoc
+        self.line_shift = line_bytes.bit_length() - 1
+        self.sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch ``address``; returns True on hit."""
+        line = address >> self.line_shift
+        bucket = self.sets[line % self.num_sets]
+        if line in bucket:
+            if bucket[0] != line:
+                bucket.remove(line)
+                bucket.insert(0, line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(bucket) >= self.assoc:
+            bucket.pop()
+        bucket.insert(0, line)
+        return False
+
+    @property
+    def miss_rate_pct(self) -> float:
+        total = self.hits + self.misses
+        return 100.0 * self.misses / total if total else 0.0
+
+
+class _BranchPredictor:
+    """2-bit saturating counters indexed by pc."""
+
+    __slots__ = ("entries", "table", "correct", "incorrect")
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self.table: Dict[int, int] = {}
+        self.correct = 0
+        self.incorrect = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Returns True if the prediction was correct."""
+        slot = (pc >> 2) % self.entries
+        counter = self.table.get(slot, 1)  # weakly not-taken
+        predicted_taken = counter >= 2
+        correct = predicted_taken == taken
+        if correct:
+            self.correct += 1
+        else:
+            self.incorrect += 1
+        if taken:
+            counter = min(counter + 1, 3)
+        else:
+            counter = max(counter - 1, 0)
+        self.table[slot] = counter
+        return correct
+
+    @property
+    def mispredict_rate_pct(self) -> float:
+        total = self.correct + self.incorrect
+        return 100.0 * self.incorrect / total if total else 0.0
+
+
+@dataclass
+class TimingReport:
+    """Cycle accounting for one run."""
+
+    instructions: int
+    cycles: int
+    icache_miss_rate_pct: float
+    dcache_miss_rate_pct: float
+    branch_mispredict_rate_pct: float
+    reused_instructions: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def speedup_over(self, baseline: "TimingReport") -> float:
+        """Baseline cycles / these cycles (same instruction stream)."""
+        return baseline.cycles / self.cycles if self.cycles else 0.0
+
+
+class TimingModel(Analyzer):
+    """Charges cycles for each retired instruction.
+
+    ``reuse_provider`` (e.g. ``ReuseBuffer.was_reused``) short-circuits
+    reused instructions: base cycle only, no functional-unit stalls, no
+    data-cache access, and branches resolve without misprediction.
+    Attach the provider's analyzer *before* this one.
+    """
+
+    def __init__(
+        self,
+        config: TimingConfig = TimingConfig(),
+        reuse_provider: Optional[Callable[[StepRecord], bool]] = None,
+    ) -> None:
+        self.config = config
+        self.reuse_provider = reuse_provider
+        self.cycles = 0
+        self.instructions = 0
+        self.reused_instructions = 0
+        self.icache = _Cache(config.icache_lines, config.icache_assoc, config.line_bytes)
+        self.dcache = _Cache(config.dcache_lines, config.dcache_assoc, config.line_bytes)
+        self.predictor = _BranchPredictor(config.bht_entries)
+
+    def on_step(self, record: StepRecord) -> None:
+        config = self.config
+        self.instructions += 1
+        cycles = 1
+        # Instruction fetch always touches the I-cache.
+        if not self.icache.access(record.pc):
+            cycles += config.cache_miss_penalty
+
+        reused = self.reuse_provider is not None and self.reuse_provider(record)
+        if reused:
+            self.reused_instructions += 1
+            self.cycles += cycles
+            return
+
+        kind = record.instr.op.kind
+        if kind == Kind.MULDIV:
+            cycles += config.div_latency if record.instr.op.name.startswith("div") else config.mult_latency
+        elif kind in (Kind.LOAD, Kind.STORE):
+            if not self.dcache.access(record.mem_addr):  # type: ignore[arg-type]
+                cycles += config.cache_miss_penalty
+        elif kind == Kind.BRANCH:
+            taken = bool(record.outputs and record.outputs[0])
+            if not self.predictor.predict_and_update(record.pc, taken):
+                cycles += config.branch_mispredict_penalty
+        elif kind == Kind.SYSCALL:
+            cycles += config.syscall_cost
+        self.cycles += cycles
+
+    def report(self) -> TimingReport:
+        return TimingReport(
+            instructions=self.instructions,
+            cycles=self.cycles,
+            icache_miss_rate_pct=self.icache.miss_rate_pct,
+            dcache_miss_rate_pct=self.dcache.miss_rate_pct,
+            branch_mispredict_rate_pct=self.predictor.mispredict_rate_pct,
+            reused_instructions=self.reused_instructions,
+        )

@@ -1,0 +1,120 @@
+"""Tests for the dynamic call-graph profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.callgraph import UNKNOWN, CallGraphProfiler
+from repro.lang import compile_source
+from repro.sim import Simulator
+
+
+def profile(source, input_data=b""):
+    profiler = CallGraphProfiler()
+    result = Simulator(
+        compile_source(source), input_data=input_data, analyzers=[profiler]
+    ).run()
+    return profiler.report(), result
+
+
+SOURCE = """
+int leaf(int x) { return x * 2; }
+int middle(int x) { return leaf(x) + leaf(x + 1); }
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 5; i++) { s += middle(i); }
+    print_int(s);
+    return 0;
+}
+"""
+
+
+class TestCounts:
+    def test_call_counts(self):
+        report, _ = profile(SOURCE)
+        assert report.functions["main"].calls == 1
+        assert report.functions["middle"].calls == 5
+        assert report.functions["leaf"].calls == 10
+
+    def test_edges(self):
+        report, _ = profile(SOURCE)
+        assert report.edges[("main", "middle")] == 5
+        assert report.edges[("middle", "leaf")] == 10
+        assert (UNKNOWN, "main") in report.edges
+
+    def test_exclusive_sums_to_total(self):
+        report, result = profile(SOURCE)
+        total = sum(f.exclusive for f in report.functions.values())
+        assert total == result.analyzed_instructions == report.total_instructions
+
+    def test_inclusive_at_least_exclusive(self):
+        report, _ = profile(SOURCE)
+        for function in report.functions.values():
+            assert function.inclusive >= function.exclusive
+
+    def test_main_inclusive_covers_everything(self):
+        report, result = profile(SOURCE)
+        assert report.functions["main"].inclusive == result.analyzed_instructions
+
+    def test_caller_callee_queries(self):
+        report, _ = profile(SOURCE)
+        assert report.callers_of("leaf") == [("middle", 10)]
+        assert report.callees_of("main") == [("middle", 5)]
+
+
+class TestRecursion:
+    def test_recursive_function(self):
+        source = """
+int fact(int n) {
+    if (n <= 1) { return 1; }
+    return n * fact(n - 1);
+}
+int main() { print_int(fact(6)); return 0; }
+"""
+        report, result = profile(source)
+        assert report.functions["fact"].calls == 6
+        assert report.edges[("fact", "fact")] == 5
+        total = sum(f.exclusive for f in report.functions.values())
+        assert total == result.analyzed_instructions
+
+
+class TestRanking:
+    def test_flat_profile_order(self):
+        report, _ = profile(SOURCE)
+        ranked = report.flat_profile(3)
+        assert ranked == sorted(ranked, key=lambda f: f.exclusive, reverse=True)
+
+    def test_exclusive_share(self):
+        report, _ = profile(SOURCE)
+        share = report.exclusive_share_pct("main")
+        assert 0.0 < share < 100.0
+        assert report.exclusive_share_pct("nosuch") == 0.0
+
+
+class TestExitHandling:
+    def test_exit_mid_call_flushes_frames(self):
+        source = """
+int deep(int n) {
+    if (n == 0) { exit(0); }
+    return deep(n - 1);
+}
+int main() { return deep(4); }
+"""
+        report, result = profile(source)
+        total = sum(f.exclusive for f in report.functions.values())
+        assert total == result.analyzed_instructions
+
+    def test_workload_profile(self):
+        from repro.workloads import get_workload
+
+        workload = get_workload("vortex")
+        profiler = CallGraphProfiler()
+        Simulator(
+            workload.program(),
+            input_data=workload.primary_input(1),
+            analyzers=[profiler],
+        ).run(limit=30_000)
+        report = profiler.report()
+        names = {f.name for f in report.flat_profile(5)}
+        # The deep layering shows up in the flat profile.
+        assert names & {"Chunk_GetField", "Chunk_SetField", "Mem_GetWord", "Tm_Transaction", "Db_LookupKey", "Tm_FetchObject", "rand_next", "main", "Obj_Create", "Chunk_Addr", "Mem_PutWord"}

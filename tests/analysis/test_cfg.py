@@ -1,0 +1,156 @@
+"""Tests for CFG construction and basic-block profiling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cfg import BasicBlockProfiler, ControlFlowGraph
+from repro.asm import assemble
+from repro.isa.convention import TEXT_BASE
+from repro.lang import compile_source
+from repro.sim import Simulator
+
+BRANCHY = """
+        .text
+        .ent main, 0
+main:   li $t0, 0
+        li $t1, 0
+loop:   addiu $t0, $t0, 1
+        addiu $t1, $t1, 2
+        blt $t0, 10, loop
+        beq $t1, $zero, never
+        jr $ra
+never:  li $t2, 1
+        jr $ra
+        .end main
+"""
+
+
+class TestCfgConstruction:
+    def test_block_boundaries(self):
+        program = assemble(BRANCHY)
+        cfg = ControlFlowGraph(program)
+        # Leaders: main, loop, post-branch fallthrough(s), never.
+        assert program.symbols["loop"] in cfg.blocks
+        assert program.symbols["never"] in cfg.blocks
+        assert TEXT_BASE in cfg.blocks
+
+    def test_blocks_partition_text(self):
+        program = assemble(BRANCHY)
+        cfg = ControlFlowGraph(program)
+        covered = sum(block.size for block in cfg.blocks.values())
+        assert covered == len(program.text)
+        # Blocks are disjoint and ordered.
+        starts = sorted(cfg.blocks)
+        for a, b in zip(starts, starts[1:]):
+            assert cfg.blocks[a].end <= b
+
+    def test_branch_successors(self):
+        program = assemble(BRANCHY)
+        cfg = ControlFlowGraph(program)
+        loop = cfg.blocks[program.symbols["loop"]]
+        # Conditional back-edge: successors = {loop, fallthrough}.
+        assert program.symbols["loop"] in loop.successors
+        assert len(loop.successors) == 2
+
+    def test_jr_has_no_static_successors(self):
+        program = assemble(BRANCHY)
+        cfg = ControlFlowGraph(program)
+        # Block ending with jr $ra: no static successors.
+        jr_blocks = [
+            b
+            for b in cfg.blocks.values()
+            if program.instruction_at(b.end - 4).op.name == "jr"
+        ]
+        assert jr_blocks
+        assert all(b.successors == () for b in jr_blocks)
+
+    def test_function_membership(self):
+        program = compile_source(
+            """
+int helper(int x) { if (x > 0) { return x; } return -x; }
+int main() { print_int(helper(-3)); return 0; }
+"""
+        )
+        cfg = ControlFlowGraph(program)
+        helper_blocks = cfg.blocks_of_function("helper")
+        assert len(helper_blocks) >= 2  # branchy function: several blocks
+        assert all(b.function == "helper" for b in helper_blocks)
+
+    def test_block_at_lookup(self):
+        program = assemble(BRANCHY)
+        cfg = ControlFlowGraph(program)
+        loop_start = program.symbols["loop"]
+        assert cfg.block_at(loop_start).start == loop_start
+        assert cfg.block_at(loop_start + 4).start == loop_start
+        with pytest.raises(KeyError):
+            cfg.block_at(TEXT_BASE - 4)
+
+    def test_call_block_splits_at_return_point(self):
+        program = compile_source(
+            """
+int f(int a) { return a + 1; }
+int main() { print_int(f(1) + f(2)); return 0; }
+"""
+        )
+        cfg = ControlFlowGraph(program)
+        # jal ends a block whose successors include both the callee and
+        # the return continuation.
+        call_blocks = [
+            b
+            for b in cfg.blocks.values()
+            if program.instruction_at(b.end - 4).op.name == "jal"
+        ]
+        assert call_blocks
+        for block in call_blocks:
+            assert len(block.successors) == 2
+
+
+class TestProfiling:
+    def test_loop_block_hotter_than_entry(self):
+        profiler = BasicBlockProfiler()
+        program = assemble(BRANCHY)
+        Simulator(program, analyzers=[profiler]).run()
+        profile = profiler.report()
+        loop_count = profile.counts[program.symbols["loop"]]
+        entry_count = profile.counts[program.text_base]
+        assert loop_count == 10
+        assert entry_count == 1
+
+    def test_never_taken_block_unexecuted(self):
+        profiler = BasicBlockProfiler()
+        program = assemble(BRANCHY)
+        Simulator(program, analyzers=[profiler]).run()
+        profile = profiler.report()
+        assert program.symbols["never"] not in profile.counts
+
+    def test_hottest_ranking(self):
+        profiler = BasicBlockProfiler()
+        program = assemble(BRANCHY)
+        Simulator(program, analyzers=[profiler]).run()
+        top = profiler.report().hottest(1)
+        assert top[0][0].start == program.symbols["loop"]
+
+    def test_dynamic_instruction_reconstruction(self):
+        profiler = BasicBlockProfiler()
+        program = assemble(BRANCHY)
+        result = Simulator(program, analyzers=[profiler]).run()
+        profile = profiler.report()
+        assert profile.dynamic_instructions() == result.analyzed_instructions
+
+    def test_unattached_profiler_rejects_report(self):
+        with pytest.raises(RuntimeError):
+            BasicBlockProfiler().report()
+
+    def test_on_workload(self):
+        from repro.workloads import get_workload
+
+        workload = get_workload("m88ksim")
+        profiler = BasicBlockProfiler()
+        Simulator(
+            workload.program(), input_data=workload.primary_input(1), analyzers=[profiler]
+        ).run(limit=20_000)
+        profile = profiler.report()
+        assert profile.executed_blocks > 10
+        hottest = profile.hottest(3)
+        assert hottest[0][1] >= hottest[1][1] >= hottest[2][1]

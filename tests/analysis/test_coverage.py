@@ -1,0 +1,106 @@
+"""Unit and property tests for coverage-curve math."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.coverage import (
+    INSTANCE_BUCKETS,
+    bucket_label,
+    bucket_shares,
+    contributors_for_fraction,
+    coverage_curve,
+    cumulative_share_curve,
+)
+
+weights = st.lists(st.integers(min_value=0, max_value=1000), max_size=50)
+
+
+class TestContributorsForFraction:
+    def test_simple(self):
+        assert contributors_for_fraction([50, 30, 20], 0.5) == 1
+        assert contributors_for_fraction([50, 30, 20], 0.8) == 2
+        assert contributors_for_fraction([50, 30, 20], 1.0) == 3
+
+    def test_unsorted_input(self):
+        assert contributors_for_fraction([20, 50, 30], 0.5) == 1
+
+    def test_zero_weights_ignored(self):
+        assert contributors_for_fraction([0, 0, 10], 1.0) == 1
+
+    def test_empty_and_zero(self):
+        assert contributors_for_fraction([], 0.5) == 0
+        assert contributors_for_fraction([0, 0], 0.9) == 0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            contributors_for_fraction([1], 1.5)
+
+    @given(weights, st.floats(min_value=0.0, max_value=1.0))
+    def test_bounds(self, values, fraction):
+        needed = contributors_for_fraction(values, fraction)
+        positive = [v for v in values if v > 0]
+        assert 0 <= needed <= len(positive)
+
+    @given(weights)
+    def test_monotone_in_fraction(self, values):
+        results = [contributors_for_fraction(values, f) for f in (0.25, 0.5, 0.75, 1.0)]
+        assert results == sorted(results)
+
+    @given(weights.filter(lambda v: sum(v) > 0))
+    def test_covers_claimed_fraction(self, values):
+        needed = contributors_for_fraction(values, 0.75)
+        top = sorted((v for v in values if v > 0), reverse=True)[:needed]
+        assert sum(top) >= 0.75 * sum(values) - 1e-6
+
+
+class TestCoverageCurve:
+    def test_basic_shape(self):
+        curve = coverage_curve([90, 5, 5], [0.5, 0.9, 1.0])
+        assert curve[0] == (0.5, pytest.approx(1 / 3))
+        assert curve[2] == (1.0, pytest.approx(1.0))
+
+    def test_empty(self):
+        assert coverage_curve([], [0.5]) == [(0.5, 0.0)]
+
+
+class TestCumulativeShareCurve:
+    def test_endpoints(self):
+        curve = cumulative_share_curve([10, 5, 1], points=10)
+        assert curve[-1] == (1.0, 1.0)
+
+    @given(weights.filter(lambda v: sum(v) > 0))
+    def test_monotone(self, values):
+        curve = cumulative_share_curve(values, points=20)
+        xs = [x for x, _ in curve]
+        ys = [y for _, y in curve]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+
+
+class TestBuckets:
+    @pytest.mark.parametrize(
+        "count,label",
+        [(1, "1"), (2, "2-10"), (10, "2-10"), (11, "11-100"), (100, "11-100"),
+         (101, "101-1000"), (1000, "101-1000"), (1001, ">1000"), (10**6, ">1000")],
+    )
+    def test_bucket_label(self, count, label):
+        assert bucket_label(count) == label
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            bucket_label(0)
+
+    def test_bucket_shares_normalized(self):
+        shares = bucket_shares({"1": 30, "2-10": 70})
+        assert shares["1"] == pytest.approx(0.3)
+        assert shares["2-10"] == pytest.approx(0.7)
+        assert shares[">1000"] == 0.0
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_bucket_shares_empty(self):
+        shares = bucket_shares({})
+        assert all(v == 0.0 for v in shares.values())
+        assert set(shares) == {label for _, _, label in INSTANCE_BUCKETS}

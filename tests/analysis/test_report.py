@@ -1,0 +1,37 @@
+"""Tests for the markdown report builder and its CLI hookup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import build_markdown_report
+from repro.harness.cli import main
+
+
+class TestBuilder:
+    def test_full_report(self, suite_results):
+        text = build_markdown_report(suite_results)
+        assert text.startswith("# Instruction repetition")
+        for ref in ("Table 1", "Table 10", "Figure 6"):
+            assert ref in text
+        # Every workload shows up in the body.
+        for name in suite_results:
+            assert name in text
+
+    def test_subset(self, suite_results):
+        text = build_markdown_report(suite_results, ["table1"])
+        assert "Table 1" in text
+        assert "Table 10" not in text
+
+    def test_unknown_id_rejected(self, suite_results):
+        with pytest.raises(KeyError):
+            build_markdown_report(suite_results, ["tableX"])
+
+
+class TestCliIntegration:
+    def test_markdown_flag_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["table2", "--workloads", "m88ksim", "--markdown", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "Table 2" in text and "m88ksim" in text

@@ -1,0 +1,39 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_cell, format_table
+
+
+class TestFormatCell:
+    def test_float_one_decimal(self):
+        assert format_cell(3.14159) == "3.1"
+
+    def test_int_thousands(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_string_passthrough(self):
+        assert format_cell("go") == "go"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("Name", "Value"), [("a", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        assert len(lines) == 4
+        # Numeric column is right-aligned.
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")
+
+    def test_separator_row(self):
+        text = format_table(("A",), [(1,)])
+        assert set(text.splitlines()[1]) <= {"-", " "}
+
+    def test_empty_rows(self):
+        text = format_table(("A", "B"), [])
+        assert "A" in text and len(text.splitlines()) == 2
+
+    def test_mixed_types(self):
+        text = format_table(("W", "pct"), [("go", 85.25)])
+        assert "85.2" in text or "85.3" in text

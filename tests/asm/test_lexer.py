@@ -1,0 +1,70 @@
+"""Tests for the assembly tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm.errors import AsmError
+from repro.asm.lexer import Token, iter_logical_lines, tokenize_line, unescape
+
+
+class TestTokenizeLine:
+    def test_instruction_line(self):
+        tokens = tokenize_line("addu $t0, $t1, $t2")
+        assert [t.kind for t in tokens] == ["ident", "reg", "punct", "reg", "punct", "reg"]
+
+    def test_comment_stripped(self):
+        assert tokenize_line("nop # does nothing")[0].text == "nop"
+        assert tokenize_line("# whole line") == []
+
+    def test_numbers(self):
+        tokens = tokenize_line(".word 10, -3, 0x1F")
+        values = [t.value for t in tokens if t.kind == "num"]
+        assert values == [10, -3, 0x1F]
+
+    def test_char_literal(self):
+        tokens = tokenize_line("li $t0, 'A'")
+        assert tokens[-1].value == 65
+
+    def test_char_escape(self):
+        assert tokenize_line(r"li $t0, '\n'")[-1].value == 10
+        assert tokenize_line(r"li $t0, '\0'")[-1].value == 0
+
+    def test_string_literal(self):
+        tokens = tokenize_line(r'.asciiz "hi\nthere"')
+        assert tokens[-1].value == "hi\nthere"
+
+    def test_memory_operand(self):
+        tokens = tokenize_line("lw $t0, 4($sp)")
+        assert [t.text for t in tokens] == ["lw", "$t0", ",", "4", "(", "$sp", ")"]
+
+    def test_label_definition(self):
+        tokens = tokenize_line("loop: addiu $t0, $t0, 1")
+        assert tokens[0].kind == "ident"
+        assert tokens[1].text == ":"
+
+    def test_bad_character_raises(self):
+        with pytest.raises(AsmError):
+            tokenize_line("addu $t0 @ $t1")
+
+    def test_symbol_with_offset(self):
+        # The lexer folds the sign into the number; the parser re-splits.
+        tokens = tokenize_line("la $t0, table+8")
+        assert tokens[-2].text == "table"
+        assert tokens[-1].kind == "num" and tokens[-1].value == 8
+
+
+class TestUnescape:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [(r"a\nb", "a\nb"), (r"\t", "\t"), (r"\\", "\\"), (r"\"", '"'), ("plain", "plain")],
+    )
+    def test_escapes(self, raw, expected):
+        assert unescape(raw) == expected
+
+
+class TestLogicalLines:
+    def test_skips_blank_lines(self):
+        lines = list(iter_logical_lines("a\n\n  \nb\n"))
+        assert [text.strip() for _, text in lines] == ["a", "b"]
+        assert [number for number, _ in lines] == [1, 4]

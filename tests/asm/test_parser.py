@@ -1,0 +1,94 @@
+"""Tests for assembly statement parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm.errors import AsmError
+from repro.asm.parser import (
+    DirectiveStmt,
+    ImmOp,
+    InstrStmt,
+    LabelStmt,
+    MemOp,
+    MemSymOp,
+    RegOp,
+    SymOp,
+    parse_source,
+)
+from repro.isa.registers import GP, SP, T0, T1
+
+
+def single_instr(source: str) -> InstrStmt:
+    statements = parse_source(source)
+    assert len(statements) == 1 and isinstance(statements[0], InstrStmt)
+    return statements[0]
+
+
+class TestOperands:
+    def test_register_operands(self):
+        stmt = single_instr("addu $t0, $t1, $zero")
+        assert stmt.operands == [RegOp(T0), RegOp(T1), RegOp(0)]
+
+    def test_immediate(self):
+        stmt = single_instr("addiu $t0, $t1, -42")
+        assert stmt.operands[2] == ImmOp(-42)
+
+    def test_memory_operand(self):
+        stmt = single_instr("lw $t0, 8($sp)")
+        assert stmt.operands[1] == MemOp(8, SP)
+
+    def test_bare_parenthesised_base(self):
+        stmt = single_instr("lw $t0, ($sp)")
+        assert stmt.operands[1] == MemOp(0, SP)
+
+    def test_symbol_operand(self):
+        stmt = single_instr("la $t0, table")
+        assert stmt.operands[1] == SymOp("table", 0)
+
+    def test_symbol_with_offset(self):
+        stmt = single_instr("la $t0, table+12")
+        assert stmt.operands[1] == SymOp("table", 12)
+        stmt = single_instr("la $t0, table-4")
+        assert stmt.operands[1] == SymOp("table", -4)
+
+    def test_gp_relative_memory_symbol(self):
+        stmt = single_instr("lw $t0, counter($gp)")
+        assert stmt.operands[1] == MemSymOp(SymOp("counter", 0), GP)
+
+
+class TestStatements:
+    def test_label_then_instruction_same_line(self):
+        statements = parse_source("loop: addiu $t0, $t0, 1")
+        assert isinstance(statements[0], LabelStmt) and statements[0].name == "loop"
+        assert isinstance(statements[1], InstrStmt)
+
+    def test_multiple_labels(self):
+        statements = parse_source("a:\nb: nop")
+        labels = [s.name for s in statements if isinstance(s, LabelStmt)]
+        assert labels == ["a", "b"]
+
+    def test_directive(self):
+        statements = parse_source(".word 1, 2, 3")
+        assert isinstance(statements[0], DirectiveStmt)
+        assert statements[0].name == ".word"
+
+    def test_mnemonic_lowercased(self):
+        assert single_instr("ADDU $t0, $t1, $t2").mnemonic == "addu"
+
+    def test_excess_operands_rejected_at_assembly(self):
+        # Syntactically "nop nop" parses as nop with a symbol operand;
+        # the assembler's arity check rejects it.
+        from repro.asm import assemble
+
+        with pytest.raises(AsmError):
+            assemble(".ent main, 0\nmain: nop nop\njr $ra\n.end main")
+
+    def test_unparseable_operand_rejected(self):
+        with pytest.raises(AsmError):
+            parse_source("addu $t0, ]")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError) as excinfo:
+            parse_source("nop\naddu $t0 $t1")  # missing comma
+        assert excinfo.value.line == 2

@@ -1,0 +1,159 @@
+"""Tests for pseudo-instruction expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm.parser import ImmOp, RegOp, SymOp
+from repro.asm.pseudo import GPREL, HI16, LO16, SymImm, expand, expansion_length
+from repro.isa.convention import DATA_BASE, GP_VALUE
+from repro.isa.registers import AT, GP, T0, T1, T2, ZERO
+
+
+def no_data(_name):
+    return None
+
+
+def data_at(address):
+    return lambda name: address
+
+
+class TestLi:
+    def test_small_signed(self):
+        protos = expand("li", [RegOp(T0), ImmOp(-5)], 1, no_data)
+        assert len(protos) == 1
+        assert protos[0].name == "addiu" and protos[0].imm == -5
+
+    def test_small_unsigned(self):
+        protos = expand("li", [RegOp(T0), ImmOp(0xFFFF)], 1, no_data)
+        assert len(protos) == 1 and protos[0].name == "ori"
+
+    def test_large_splits_into_lui_ori(self):
+        protos = expand("li", [RegOp(T0), ImmOp(0x12345678)], 1, no_data)
+        assert [p.name for p in protos] == ["lui", "ori"]
+        assert protos[0].imm == 0x1234
+        assert protos[1].imm == 0x5678
+
+    def test_negative_large(self):
+        protos = expand("li", [RegOp(T0), ImmOp(-0x123456)], 1, no_data)
+        assert [p.name for p in protos] == ["lui", "ori"]
+        value = (protos[0].imm << 16) | protos[1].imm
+        assert value == (-0x123456) & 0xFFFFFFFF
+
+    def test_length_matches_expansion(self):
+        for imm in (0, 1, -1, 0x7FFF, 0x8000, 0xFFFF, 0x10000, -0x8000, -0x8001):
+            ops = [RegOp(T0), ImmOp(imm)]
+            assert expansion_length("li", ops, 1, no_data) == len(expand("li", ops, 1, no_data))
+
+
+class TestLa:
+    def test_gp_reachable_data_symbol(self):
+        lookup = data_at(DATA_BASE + 0x10)
+        protos = expand("la", [RegOp(T0), SymOp("x")], 1, lookup)
+        assert len(protos) == 1
+        assert protos[0].name == "addiu" and protos[0].rs == GP
+        assert isinstance(protos[0].imm, SymImm) and protos[0].imm.kind == GPREL
+
+    def test_far_symbol_uses_lui_ori(self):
+        lookup = data_at(DATA_BASE + 0x100000)  # beyond the gp window
+        protos = expand("la", [RegOp(T0), SymOp("x")], 1, lookup)
+        assert [p.name for p in protos] == ["lui", "ori"]
+        assert protos[0].imm.kind == HI16 and protos[1].imm.kind == LO16
+
+    def test_text_symbol_uses_lui_ori(self):
+        protos = expand("la", [RegOp(T0), SymOp("func")], 1, no_data)
+        assert [p.name for p in protos] == ["lui", "ori"]
+
+    def test_length_consistency(self):
+        for lookup in (no_data, data_at(DATA_BASE), data_at(DATA_BASE + 0x200000)):
+            ops = [RegOp(T0), SymOp("x")]
+            assert expansion_length("la", ops, 1, lookup) == len(expand("la", ops, 1, lookup))
+
+
+class TestBranchSynthesis:
+    def test_blt_registers(self):
+        protos = expand("blt", [RegOp(T0), RegOp(T1), SymOp("L")], 1, no_data)
+        assert [p.name for p in protos] == ["slt", "bne"]
+        assert protos[0].rd == AT and protos[0].rs == T0 and protos[0].rt == T1
+
+    def test_bgt_swaps_operands(self):
+        protos = expand("bgt", [RegOp(T0), RegOp(T1), SymOp("L")], 1, no_data)
+        assert protos[0].rs == T1 and protos[0].rt == T0
+        assert protos[1].name == "bne"
+
+    def test_bge_uses_beq(self):
+        protos = expand("bge", [RegOp(T0), RegOp(T1), SymOp("L")], 1, no_data)
+        assert protos[1].name == "beq"
+
+    def test_blt_immediate_uses_slti(self):
+        protos = expand("blt", [RegOp(T0), ImmOp(5), SymOp("L")], 1, no_data)
+        assert [p.name for p in protos] == ["slti", "bne"]
+
+    def test_bgt_immediate_materializes(self):
+        protos = expand("bgt", [RegOp(T0), ImmOp(5), SymOp("L")], 1, no_data)
+        assert [p.name for p in protos] == ["addiu", "slt", "bne"]
+
+    def test_lengths_match(self):
+        cases = [
+            ("blt", [RegOp(T0), RegOp(T1), SymOp("L")]),
+            ("blt", [RegOp(T0), ImmOp(3), SymOp("L")]),
+            ("ble", [RegOp(T0), ImmOp(3), SymOp("L")]),
+            ("bgt", [RegOp(T0), RegOp(T1), SymOp("L")]),
+            ("bltu", [RegOp(T0), RegOp(T1), SymOp("L")]),
+        ]
+        for mnemonic, ops in cases:
+            assert expansion_length(mnemonic, ops, 1, no_data) == len(
+                expand(mnemonic, ops, 1, no_data)
+            )
+
+
+class TestOtherPseudos:
+    def test_move(self):
+        protos = expand("move", [RegOp(T0), RegOp(T1)], 1, no_data)
+        assert protos[0].name == "addu" and protos[0].rt == ZERO
+
+    def test_unconditional_branch(self):
+        protos = expand("b", [SymOp("L")], 1, no_data)
+        assert protos[0].name == "beq" and protos[0].rs == ZERO
+
+    def test_beqz_bnez(self):
+        assert expand("beqz", [RegOp(T0), SymOp("L")], 1, no_data)[0].name == "beq"
+        assert expand("bnez", [RegOp(T0), SymOp("L")], 1, no_data)[0].name == "bne"
+
+    def test_neg_not(self):
+        assert expand("neg", [RegOp(T0), RegOp(T1)], 1, no_data)[0].name == "subu"
+        assert expand("not", [RegOp(T0), RegOp(T1)], 1, no_data)[0].name == "nor"
+
+    def test_mul_rem_div3(self):
+        assert [p.name for p in expand("mul", [RegOp(T0), RegOp(T1), RegOp(T2)], 1, no_data)] == [
+            "mult",
+            "mflo",
+        ]
+        assert [p.name for p in expand("rem", [RegOp(T0), RegOp(T1), RegOp(T2)], 1, no_data)] == [
+            "div",
+            "mfhi",
+        ]
+        assert [p.name for p in expand("div", [RegOp(T0), RegOp(T1), RegOp(T2)], 1, no_data)] == [
+            "div",
+            "mflo",
+        ]
+
+    def test_set_pseudos(self):
+        assert [p.name for p in expand("seq", [RegOp(T0), RegOp(T1), RegOp(T2)], 1, no_data)] == [
+            "subu",
+            "sltiu",
+        ]
+        assert [p.name for p in expand("sne", [RegOp(T0), RegOp(T1), RegOp(T2)], 1, no_data)] == [
+            "subu",
+            "sltu",
+        ]
+        sgt = expand("sgt", [RegOp(T0), RegOp(T1), RegOp(T2)], 1, no_data)
+        assert len(sgt) == 1 and sgt[0].rs == T2 and sgt[0].rt == T1
+
+    def test_sle_sge(self):
+        sle = expand("sle", [RegOp(T0), RegOp(T1), RegOp(T2)], 1, no_data)
+        assert [p.name for p in sle] == ["slt", "xori"]
+        sge = expand("sge", [RegOp(T0), RegOp(T1), RegOp(T2)], 1, no_data)
+        assert [p.name for p in sge] == ["slt", "xori"]
+        # sge keeps operand order, sle swaps it.
+        assert sge[0].rs == T1 and sle[0].rs == T2

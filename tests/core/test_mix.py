@@ -1,0 +1,97 @@
+"""Tests for the instruction-mix analyzer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InstructionMixAnalyzer, RepetitionTracker
+from repro.core.mix import MIX_CLASSES
+from repro.lang import compile_source
+from repro.sim import Simulator
+
+from tests.helpers import make_step
+
+
+def analyze(source, input_data=b""):
+    tracker = RepetitionTracker()
+    analyzer = InstructionMixAnalyzer(tracker)
+    Simulator(
+        compile_source(source), input_data=input_data, analyzers=[tracker, analyzer]
+    ).run()
+    return analyzer.report()
+
+
+LOOP = """
+int data[8];
+int touch(int i) { data[i & 7] = i; return data[i & 7]; }
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 20; i += 1) { s += touch(i); }
+    print_int(s);
+    return 0;
+}
+"""
+
+
+class TestClassification:
+    def test_classes_cover_all_instructions(self):
+        report = analyze(LOOP)
+        assert sum(report.classes[c].total for c in MIX_CLASSES) == report.dynamic_total
+
+    def test_loads_and_stores_counted(self):
+        report = analyze(LOOP)
+        assert report.classes["load"].total >= 20
+        assert report.classes["store"].total >= 20
+
+    def test_calls_and_returns_paired(self):
+        report = analyze(LOOP)
+        # touch() returns 20 times plus main's own return.
+        assert report.classes["return"].total == 21
+        assert report.classes["call"].total == 20
+
+    def test_share_percentages_sum_to_100(self):
+        report = analyze(LOOP)
+        assert sum(report.share_pct(c) for c in MIX_CLASSES) == pytest.approx(100.0)
+
+    def test_jr_non_ra_is_jump(self):
+        from repro.isa.registers import T0
+
+        analyzer = InstructionMixAnalyzer()
+        analyzer.on_step(make_step(op="jr", rs=T0, inputs=(0x400000,)))
+        assert analyzer.classes["jump"].total == 1
+        assert analyzer.classes["return"].total == 0
+
+
+class TestControlFlowStats:
+    def test_branch_taken_rate(self):
+        report = analyze(LOOP)
+        assert report.branches > 0
+        assert 0.0 < report.branch_taken_pct < 100.0
+
+    def test_call_depth(self):
+        source = """
+int depth3() { return 1; }
+int depth2() { return depth3(); }
+int depth1() { return depth2(); }
+int main() { print_int(depth1()); return 0; }
+"""
+        report = analyze(source)
+        # main + depth1 + depth2 + depth3 (the entry call counts too).
+        assert report.max_call_depth == 4
+        assert report.dynamic_calls == 4
+
+    def test_loads_per_store(self):
+        report = analyze(LOOP)
+        assert report.loads_per_store > 0.0
+
+
+class TestRepetitionSplit:
+    def test_propensity_populated_with_tracker(self):
+        report = analyze(LOOP)
+        assert report.classes["alu"].repeated > 0
+        assert 0.0 <= report.classes["alu"].propensity_pct <= 100.0
+
+    def test_without_tracker_no_repeats(self):
+        analyzer = InstructionMixAnalyzer()
+        Simulator(compile_source(LOOP), analyzers=[analyzer]).run()
+        assert all(stats.repeated == 0 for stats in analyzer.classes.values())

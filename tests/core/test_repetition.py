@@ -1,0 +1,136 @@
+"""Tests for the repetition tracker (the paper's core methodology)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.repetition import RepetitionTracker
+
+from tests.helpers import make_step
+
+
+PC = 0x0040_0000
+
+
+def feed(tracker, instances, pc=PC):
+    """Feed (inputs, outputs) pairs as successive dynamic instances."""
+    for inputs, outputs in instances:
+        tracker.on_step(make_step(pc=pc, inputs=inputs, outputs=outputs))
+
+
+class TestPaperDefinition:
+    def test_first_instance_is_not_repeated(self):
+        tracker = RepetitionTracker()
+        tracker.on_step(make_step(pc=PC, inputs=(1,), outputs=(2,)))
+        assert not tracker.last_was_repeated
+        assert tracker.dynamic_repeated == 0
+
+    def test_same_inputs_and_outputs_repeat(self):
+        tracker = RepetitionTracker()
+        feed(tracker, [((1, 2), (3,)), ((1, 2), (3,))])
+        assert tracker.last_was_repeated
+        assert tracker.dynamic_repeated == 1
+
+    def test_same_inputs_different_outputs_not_repeated(self):
+        # A load reading a different value from the same address (paper §2).
+        tracker = RepetitionTracker()
+        feed(tracker, [((100,), (7,)), ((100,), (8,))])
+        assert not tracker.last_was_repeated
+
+    def test_different_pcs_are_independent(self):
+        tracker = RepetitionTracker()
+        tracker.on_step(make_step(pc=PC, inputs=(1,), outputs=(1,)))
+        tracker.on_step(make_step(pc=PC + 4, inputs=(1,), outputs=(1,)))
+        assert not tracker.last_was_repeated
+
+    def test_figure2_example(self):
+        """The paper's Figure 2: I1..I7 with I2/I4 as the unique
+        repeatable instances (I1 unique but never repeated)."""
+        tracker = RepetitionTracker()
+        a, b, c = ((1,), (1,)), ((2,), (2,)), ((3,), (3,))
+        # I1=a, I2=b, I3=b, I4=c, I5=c, I6=b, I7=c
+        feed(tracker, [a, b, b, c, c, b, c])
+        report = tracker.report()
+        assert report.dynamic_total == 7
+        assert report.dynamic_repeated == 4  # I3, I5, I6, I7
+        assert report.unique_repeatable_instances == 2  # I2 and I4
+        assert sorted(report.instance_repeat_counts) == [2, 2]
+        assert report.average_repeats == 2.0
+
+
+class TestBufferCapacity:
+    def test_capacity_limits_learning(self):
+        tracker = RepetitionTracker(buffer_capacity=2)
+        feed(tracker, [((1,), ()), ((2,), ()), ((3,), ())])
+        # Third unique instance is not buffered...
+        assert tracker.buffered_instances(PC) == 2
+        # ...so its recurrence is not detected as repetition.
+        feed(tracker, [((3,), ())])
+        assert not tracker.last_was_repeated
+        # But buffered instances still hit.
+        feed(tracker, [((1,), ())])
+        assert tracker.last_was_repeated
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RepetitionTracker(buffer_capacity=0)
+
+    @given(st.integers(min_value=1, max_value=8), st.lists(st.integers(0, 15), max_size=60))
+    def test_repeated_never_exceeds_total(self, capacity, values):
+        tracker = RepetitionTracker(buffer_capacity=capacity)
+        feed(tracker, [((v,), (v,)) for v in values])
+        assert tracker.dynamic_repeated <= max(0, tracker.dynamic_total - 1)
+        assert tracker.buffered_instances(PC) <= capacity
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_unlimited_buffer_counts_exactly(self, values):
+        """With a large buffer, repeats = total - distinct values."""
+        tracker = RepetitionTracker()
+        feed(tracker, [((v,), (v,)) for v in values])
+        assert tracker.dynamic_repeated == len(values) - len(set(values))
+
+
+class TestReport:
+    def test_static_counters(self):
+        tracker = RepetitionTracker()
+        feed(tracker, [((1,), ()), ((1,), ())], pc=PC)  # repeats
+        feed(tracker, [((9,), ())], pc=PC + 4)  # executes once, no repeat
+        report = tracker.report()
+        assert report.static_executed == 2
+        assert report.static_repeated == 1
+        assert report.static_repeated_pct == 50.0
+
+    def test_bucket_assignment(self):
+        tracker = RepetitionTracker()
+        # 1 unique repeatable instance at PC.
+        feed(tracker, [((1,), ()), ((1,), ())], pc=PC)
+        # 3 unique repeatable instances at PC+4.
+        for value in (10, 11, 12):
+            feed(tracker, [((value,), ()), ((value,), ())], pc=PC + 4)
+        report = tracker.report()
+        assert report.bucket_weights["1"] == 1
+        assert report.bucket_weights["2-10"] == 3
+
+    def test_percentages(self):
+        tracker = RepetitionTracker()
+        feed(tracker, [((1,), ())] * 4)
+        report = tracker.report()
+        assert report.dynamic_repeated_pct == 75.0
+
+    def test_empty_report(self):
+        report = RepetitionTracker().report()
+        assert report.dynamic_total == 0
+        assert report.dynamic_repeated_pct == 0.0
+        assert report.average_repeats == 0.0
+
+    def test_was_repeated_out_of_order_raises(self):
+        tracker = RepetitionTracker()
+        first = make_step(pc=PC, inputs=(1,), outputs=())
+        second = make_step(pc=PC, inputs=(1,), outputs=())
+        tracker.on_step(first)
+        tracker.on_step(second)
+        with pytest.raises(RuntimeError):
+            tracker.was_repeated(first)
+        assert tracker.was_repeated(second)

@@ -1,0 +1,191 @@
+"""Tests for dynamic backward-slice extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.slices import SliceRecorder
+from repro.isa.registers import register_index
+from repro.lang import compile_source
+from repro.sim import Simulator
+
+
+def record_asm(source, input_data=b""):
+    recorder = SliceRecorder()
+    Simulator(assemble(source), input_data=input_data, analyzers=[recorder]).run()
+    return recorder
+
+
+def record_minic(source, input_data=b""):
+    recorder = SliceRecorder()
+    Simulator(compile_source(source), input_data=input_data, analyzers=[recorder]).run()
+    return recorder
+
+
+class TestRegisterChains:
+    def test_linear_dependency_chain(self):
+        recorder = record_asm(
+            """
+        .ent main, 0
+main:   li $t0, 1
+        addiu $t1, $t0, 1
+        addiu $t2, $t1, 1
+        li $t9, 99
+        jr $ra
+        .end main
+"""
+        )
+        report = recorder.slice_of_register(register_index("t2"))
+        assert report is not None
+        # li, two addius — the unrelated li $t9 is excluded.
+        assert report.dynamic_size == 3
+
+    def test_unrelated_computation_excluded(self):
+        recorder = record_asm(
+            """
+        .ent main, 0
+main:   li $t0, 5
+        li $t1, 7
+        addu $t2, $t0, $t0
+        addu $t3, $t1, $t1
+        jr $ra
+        .end main
+"""
+        )
+        t2_slice = recorder.slice_of_register(register_index("t2"))
+        t3_slice = recorder.slice_of_register(register_index("t3"))
+        assert t2_slice.dynamic_size == 2
+        assert t3_slice.dynamic_size == 2
+        assert set(t2_slice.indices) & set(t3_slice.indices) == set()
+
+    def test_diamond_dependencies(self):
+        recorder = record_asm(
+            """
+        .ent main, 0
+main:   li $t0, 3
+        addiu $t1, $t0, 1
+        addiu $t2, $t0, 2
+        addu $t3, $t1, $t2
+        jr $ra
+        .end main
+"""
+        )
+        report = recorder.slice_of_register(register_index("t3"))
+        assert report.dynamic_size == 4  # shared root counted once
+
+
+class TestMemoryEdges:
+    def test_slice_flows_through_store_load(self):
+        recorder = record_asm(
+            """
+        .data
+cell:   .space 4
+        .text
+        .ent main, 0
+main:   li $t0, 42
+        la $t1, cell
+        sw $t0, 0($t1)
+        li $t5, 1000
+        lw $t2, 0($t1)
+        addiu $t3, $t2, 0
+        jr $ra
+        .end main
+"""
+        )
+        report = recorder.slice_of_register(register_index("t3"))
+        nodes = recorder.nodes(report)
+        texts = [n.disassembly for n in nodes]
+        assert any("sw" in t for t in texts), "store must be in the slice"
+        assert any(t.startswith("addiu $t0") or "li" in t or "addiu" in t for t in texts)
+        # The unrelated li $t5 is not in the slice.
+        assert not any("$t5" in t for t in texts)
+
+    def test_initial_memory_is_a_root(self):
+        recorder = record_asm(
+            """
+        .data
+v:      .word 9
+        .text
+        .ent main, 0
+main:   lw $t0, v($gp)
+        jr $ra
+        .end main
+"""
+        )
+        report = recorder.slice_of_register(register_index("t0"))
+        assert report.dynamic_size == 1  # the load itself, no producer
+
+
+class TestHiLo:
+    def test_mult_mflo_dependency(self):
+        recorder = record_asm(
+            """
+        .ent main, 0
+main:   li $t0, 6
+        li $t1, 7
+        mult $t0, $t1
+        mflo $t2
+        jr $ra
+        .end main
+"""
+        )
+        report = recorder.slice_of_register(register_index("t2"))
+        assert report.dynamic_size == 4
+
+
+class TestEndToEnd:
+    def test_slice_through_function_call(self):
+        recorder = record_minic(
+            """
+int double_(int x) { return x + x; }
+int main() {
+    int a = 5;
+    int b = double_(a);
+    print_int(b);
+    return 0;
+}
+"""
+        )
+        v0 = recorder.slice_of_register(register_index("a0"))
+        assert v0 is not None and v0.dynamic_size >= 3
+
+    def test_external_input_slice(self):
+        recorder = record_minic(
+            """
+int main() {
+    int x = read_int();
+    int unrelated = 1234;
+    print_int(x * 2 + unrelated * 0);
+    return 0;
+}
+""",
+            input_data=b"8",
+        )
+        # The final $a0 slice includes the syscall step (root of external
+        # input).
+        report = recorder.slice_of_register(register_index("a0"))
+        nodes = recorder.nodes(report)
+        assert any("syscall" in n.disassembly for n in nodes)
+
+    def test_slice_smaller_than_execution(self):
+        recorder = record_minic(
+            """
+int main() {
+    int i; int s = 0; int noise = 0;
+    for (i = 0; i < 20; i += 1) {
+        s += i;
+        noise ^= i * 3;
+    }
+    print_int(s);
+    return 0;
+}
+"""
+        )
+        report = recorder.slice_of_register(register_index("a0"))
+        assert report.dynamic_size < recorder.recorded_steps
+
+    def test_unknown_step_rejected(self):
+        recorder = record_minic("int main() { return 0; }")
+        with pytest.raises(KeyError):
+            recorder.backward_slice(10**9)

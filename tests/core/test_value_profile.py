@@ -1,0 +1,96 @@
+"""Tests for global-load value profiling (Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.value_profile import GlobalLoadValueProfiler
+
+from tests.helpers import make_step
+
+PC = 0x0040_0000
+DATA = 0x1000_0000
+HEAP = 0x3000_0000
+STACK = 0x7FFF_F000
+
+
+def load(pc, addr, value):
+    return make_step(
+        pc=pc, op="lw", inputs=(addr,), outputs=(value,), dest_reg=8,
+        dest_value=value, mem_addr=addr,
+    )
+
+
+class TestFiltering:
+    def test_profiles_data_and_heap_loads(self):
+        profiler = GlobalLoadValueProfiler()
+        profiler.on_step(load(PC, DATA, 1))
+        profiler.on_step(load(PC + 4, HEAP, 2))
+        assert profiler.loads_profiled == 2
+
+    def test_ignores_stack_loads(self):
+        profiler = GlobalLoadValueProfiler()
+        profiler.on_step(load(PC, STACK, 1))
+        assert profiler.loads_profiled == 0
+
+    def test_ignores_non_loads(self):
+        profiler = GlobalLoadValueProfiler()
+        profiler.on_step(make_step(pc=PC, op="addu", inputs=(1, 2), outputs=(3,)))
+        assert profiler.loads_profiled == 0
+
+
+class TestCoverage:
+    def test_single_value_covers_all(self):
+        profiler = GlobalLoadValueProfiler()
+        for _ in range(5):
+            profiler.on_step(load(PC, DATA, 42))
+        report = profiler.report()
+        assert report.load_repetition == 4
+        assert report.top_k_coverage[0] == 100.0
+
+    def test_top_k_ordering(self):
+        profiler = GlobalLoadValueProfiler()
+        # Value 1 seen 6x (5 repeats), value 2 seen 3x (2 repeats),
+        # value 3 seen 2x (1 repeat).
+        for value, count in ((1, 6), (2, 3), (3, 2)):
+            for _ in range(count):
+                profiler.on_step(load(PC, DATA, value))
+        report = profiler.report()
+        assert report.load_repetition == 8
+        assert report.top_k_coverage[0] == pytest.approx(100 * 5 / 8)
+        assert report.top_k_coverage[1] == pytest.approx(100 * 7 / 8)
+        assert report.top_k_coverage[2] == pytest.approx(100.0)
+        # Coverage is monotone in k.
+        assert list(report.top_k_coverage) == sorted(report.top_k_coverage)
+
+    def test_unique_values_have_no_repetition(self):
+        profiler = GlobalLoadValueProfiler()
+        for value in range(10):
+            profiler.on_step(load(PC, DATA, value))
+        report = profiler.report()
+        assert report.load_repetition == 0
+        assert report.top_k_coverage == (0.0,) * 5
+
+    def test_separate_static_loads_aggregate(self):
+        profiler = GlobalLoadValueProfiler()
+        for _ in range(3):
+            profiler.on_step(load(PC, DATA, 1))
+        for _ in range(3):
+            profiler.on_step(load(PC + 4, DATA, 9))
+        report = profiler.report()
+        assert report.static_loads == 2
+        assert report.top_k_coverage[0] == 100.0  # top value of each load
+
+
+class TestValueCap:
+    def test_cap_bounds_profile_size(self):
+        profiler = GlobalLoadValueProfiler(value_cap=4)
+        for value in range(10):
+            profiler.on_step(load(PC, DATA, value))
+        assert len(profiler._profiles[PC]) == 4
+
+    def test_capped_values_still_count_loads(self):
+        profiler = GlobalLoadValueProfiler(value_cap=2)
+        for value in range(5):
+            profiler.on_step(load(PC, DATA, value))
+        assert profiler.loads_profiled == 5

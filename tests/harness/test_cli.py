@@ -1,0 +1,37 @@
+"""Tests for the repro-run CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale == 1 and args.input == "primary"
+
+    def test_experiment_list(self):
+        args = build_parser().parse_args(["table1", "fig5"])
+        assert args.experiments == ["table1", "fig5"]
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig6" in out
+
+    def test_no_selection_errors(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["tableX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_single_experiment_on_subset(self, capsys):
+        code = main(["table2", "--workloads", "m88ksim"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "m88ksim" in out

@@ -1,0 +1,50 @@
+"""Tests for the experiment registry and its table builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENT_ORDER, EXPERIMENTS
+from repro.workloads import WORKLOAD_ORDER
+
+
+class TestRegistry:
+    def test_every_table_and_figure_covered(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "table8", "table9", "table10",
+            "fig1", "fig3", "fig4", "fig5", "fig6",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_paper_refs_unique(self):
+        refs = [e.paper_ref for e in EXPERIMENTS.values()]
+        assert len(set(refs)) == len(refs)
+
+
+class TestRendering:
+    @pytest.mark.parametrize("exp_id", EXPERIMENT_ORDER)
+    def test_renders_all_workloads(self, exp_id, suite_results):
+        text = EXPERIMENTS[exp_id].render(suite_results)
+        for name in WORKLOAD_ORDER:
+            assert name in text, f"{exp_id} output missing workload {name}"
+
+    def test_table1_columns(self, suite_results):
+        text = EXPERIMENTS["table1"].render(suite_results)
+        assert "Dyn repeat %" in text
+        assert "% exec repeated" in text
+
+    def test_table3_has_three_panels(self, suite_results):
+        text = EXPERIMENTS["table3"].render(suite_results)
+        assert "Overall" in text and "Repeated" in text and "Propensity" in text
+
+    def test_table9_lists_function_names(self, suite_results):
+        text = EXPERIMENTS["table9"].render(suite_results)
+        assert "coverage=" in text
+        # Top contributors carry static sizes in parentheses.
+        assert "(" in text and ")" in text
+
+    def test_fig_outputs_have_topk_headers(self, suite_results):
+        for exp_id in ("fig5", "fig6"):
+            text = EXPERIMENTS[exp_id].render(suite_results)
+            assert "top-1" in text and "top-5" in text

@@ -1,0 +1,65 @@
+"""Tests for the suite runner and its caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import SuiteConfig, run_suite, run_workload
+from repro.workloads import get_workload
+
+
+class TestSuiteConfig:
+    def test_defaults_follow_paper(self):
+        config = SuiteConfig()
+        assert config.buffer_capacity == 2000
+        assert config.reuse_entries == 8192
+        assert config.reuse_associativity == 4
+
+    def test_input_selection(self):
+        workload = get_workload("m88ksim")
+        primary = SuiteConfig(input_kind="primary").input_for(workload)
+        secondary = SuiteConfig(input_kind="secondary").input_for(workload)
+        assert primary != secondary
+
+    def test_bad_input_kind(self):
+        with pytest.raises(ValueError):
+            SuiteConfig(input_kind="tertiary").input_for(get_workload("go"))
+
+    def test_hashable_for_caching(self):
+        assert hash(SuiteConfig()) == hash(SuiteConfig())
+        assert SuiteConfig() == SuiteConfig()
+        assert SuiteConfig(scale=2) != SuiteConfig()
+
+
+class TestRunWorkload:
+    def test_results_cached_by_config(self):
+        config = SuiteConfig(scale=1)
+        workload = get_workload("m88ksim")
+        first = run_workload(workload, config)
+        second = run_workload(workload, config)
+        assert first is second
+
+    def test_limit_respected(self):
+        config = SuiteConfig(limit_instructions=5_000)
+        result = run_workload(get_workload("m88ksim"), config)
+        assert result.run.analyzed_instructions == 5_000
+
+    def test_all_reports_present(self, suite_results):
+        result = suite_results["go"]
+        assert result.repetition.dynamic_total > 0
+        assert result.global_analysis.dynamic_total == result.repetition.dynamic_total
+        assert result.local_analysis.dynamic_total == result.repetition.dynamic_total
+        assert result.reuse.dynamic_total == result.repetition.dynamic_total
+        assert result.function_analysis.dynamic_calls > 0
+        assert result.static_program_instructions > 0
+
+
+class TestRunSuite:
+    def test_order_preserved(self, suite_results):
+        assert list(suite_results) == [
+            "go", "m88ksim", "ijpeg", "perl", "vortex", "li", "gcc", "compress",
+        ]
+
+    def test_subset_selection(self):
+        results = run_suite(SuiteConfig(limit_instructions=2_000), names=["li", "go"])
+        assert list(results) == ["li", "go"]

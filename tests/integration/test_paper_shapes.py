@@ -1,0 +1,259 @@
+"""Qualitative reproduction checks: the paper's headline claims.
+
+These tests assert the *shape* of every table/figure result — who wins,
+rough magnitudes, orderings — not the paper's absolute numbers (our
+substrate is a synthetic workload suite on a from-scratch simulator).
+Each claim cites the paper section it reproduces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.coverage import contributors_for_fraction
+from repro.core.local_analysis import CATEGORY_ORDER as LOCAL_CATEGORIES
+from repro.workloads import WORKLOAD_ORDER
+
+
+class TestTable1Shapes:
+    def test_majority_of_instructions_repeat(self, suite_results):
+        """Abstract: 'over 80% of the dynamic instructions ... are
+        repeated' — suite-wide, most workloads repeat heavily."""
+        repeated = [r.repetition.dynamic_repeated_pct for r in suite_results.values()]
+        assert sum(p > 50.0 for p in repeated) == len(repeated)
+        assert sum(p > 75.0 for p in repeated) >= 5
+
+    def test_m88ksim_highest_compress_lowest(self, suite_results):
+        """Table 1: the interpreter repeats most; compress least."""
+        pcts = {n: r.repetition.dynamic_repeated_pct for n, r in suite_results.items()}
+        assert max(pcts, key=pcts.get) == "m88ksim"
+        assert min(pcts, key=pcts.get) == "compress"
+
+    def test_most_executed_statics_repeat(self, suite_results):
+        """Table 1: repetition is not confined to few static instructions."""
+        for result in suite_results.values():
+            assert result.repetition.static_repeated_pct > 50.0
+
+    def test_only_part_of_program_executes(self, suite_results):
+        for result in suite_results.values():
+            assert result.repetition.static_executed <= result.static_program_instructions
+
+
+class TestFigure1Shape:
+    def test_few_statics_cover_most_repetition(self, suite_results):
+        """Figure 1: a minority of repeated static instructions accounts
+        for 90% of dynamic repetition."""
+        for name, result in suite_results.items():
+            weights = result.repetition.static_repeat_weights
+            needed = contributors_for_fraction(weights, 0.9)
+            fraction = needed / len(weights)
+            assert fraction < 0.75, f"{name}: {fraction:.2f} of statics for 90%"
+
+
+class TestTable2AndFigure4Shapes:
+    def test_instances_repeat_many_times(self, suite_results):
+        """Table 2: a unique repeatable instance repeats several times on
+        average."""
+        for result in suite_results.values():
+            assert result.repetition.average_repeats > 2.0
+
+    def test_minority_of_instances_cover_most_repetition(self, suite_results):
+        """Figure 4: <30-ish% of repeatable instances cover 75%."""
+        for name, result in suite_results.items():
+            counts = result.repetition.instance_repeat_counts
+            needed = contributors_for_fraction(counts, 0.75)
+            assert needed / len(counts) < 0.5, name
+
+
+class TestFigure3Shape:
+    def test_repetition_not_limited_to_single_instance_instructions(self, suite_results):
+        """Figure 3: instructions generating many unique instances still
+        contribute visibly."""
+        for name, result in suite_results.items():
+            shares = result.repetition.bucket_shares()
+            assert shares["1"] < 0.9, name
+            multi = shares["2-10"] + shares["11-100"] + shares["101-1000"] + shares[">1000"]
+            assert multi > 0.2, name
+
+
+class TestTable3Shapes:
+    def test_internals_plus_global_init_dominate(self, suite_results):
+        """Section 5.1: most computation is on data internal or hardwired
+        into the program."""
+        for name, result in suite_results.items():
+            report = result.global_analysis
+            hardwired = report.overall_pct("internals") + report.overall_pct(
+                "global init data"
+            )
+            assert hardwired > 55.0, name
+
+    def test_repetition_mostly_on_hardwired_slices(self, suite_results):
+        for name, result in suite_results.items():
+            report = result.global_analysis
+            hardwired = report.repeated_pct("internals") + report.repeated_pct(
+                "global init data"
+            )
+            assert hardwired > 55.0, name
+
+    def test_go_has_no_external_input_slices(self, suite_results):
+        """Table 3: go shows 0.0% external input (at the paper's one
+        decimal of precision — only the loop bounds are input-derived)."""
+        assert suite_results["go"].global_analysis.overall_pct("external input") < 0.05
+
+    def test_uninit_is_negligible(self, suite_results):
+        for result in suite_results.values():
+            assert result.global_analysis.overall_pct("uninit") < 1.0
+
+    def test_category_breakdown_sums_to_100(self, suite_results):
+        from repro.core.global_analysis import CATEGORY_ORDER
+
+        for result in suite_results.values():
+            total = sum(result.global_analysis.overall_pct(c) for c in CATEGORY_ORDER)
+            assert total == pytest.approx(100.0, abs=0.01)
+
+
+class TestTable4Shapes:
+    def test_all_arg_repetition_far_exceeds_none(self, suite_results):
+        """Section 5.2: strikingly many calls repeat all arguments; few
+        repeat none."""
+        for name, result in suite_results.items():
+            report = result.function_analysis
+            assert report.all_args_repeated_pct > report.no_args_repeated_pct, name
+
+    def test_li_has_highest_no_arg_repetition(self, suite_results):
+        """Table 4: li's fresh cons pointers give it the largest
+        no-argument-repetition share (15.1% in the paper)."""
+        shares = {
+            n: r.function_analysis.no_args_repeated_pct for n, r in suite_results.items()
+        }
+        assert max(shares, key=shares.get) == "li"
+
+    def test_substantial_all_arg_repetition(self, suite_results):
+        values = [r.function_analysis.all_args_repeated_pct for r in suite_results.values()]
+        assert sum(v > 50.0 for v in values) >= 5
+
+
+class TestTables567Shapes:
+    def test_local_breakdown_sums_to_100(self, suite_results):
+        for result in suite_results.values():
+            total = sum(result.local_analysis.overall_pct(c) for c in LOCAL_CATEGORIES)
+            assert total == pytest.approx(100.0, abs=0.01)
+
+    def test_prologue_epilogue_significant_for_call_heavy(self, suite_results):
+        """Table 5: prologue+epilogue reaches double digits for the
+        call-heavy benchmarks (vortex 24%, li 19% in the paper)."""
+        for name in ("vortex", "li"):
+            report = suite_results[name].local_analysis
+            share = report.overall_pct("prologue") + report.overall_pct("epilogue")
+            assert share > 8.0, name
+
+    def test_prologue_equals_epilogue(self, suite_results):
+        """Saves and restores pair up (Tables 5/6 show identical rows)."""
+        for name, result in suite_results.items():
+            report = result.local_analysis
+            assert report.overall_pct("prologue") == pytest.approx(
+                report.overall_pct("epilogue"), abs=1.0
+            ), name
+
+    def test_ijpeg_heap_dominates_global(self, suite_results):
+        """Table 5: ijpeg's data lives on the heap (55.6% vs 3.1%)."""
+        report = suite_results["ijpeg"].local_analysis
+        assert report.overall_pct("heap") > report.overall_pct("global")
+
+    def test_go_and_compress_are_global_heavy(self, suite_results):
+        """Table 5: go (54%) and compress (56%) lead on global slices and
+        use no heap at all."""
+        for name in ("go", "compress"):
+            report = suite_results[name].local_analysis
+            assert report.overall_pct("global") > 10.0, name
+            assert report.overall_pct("heap") == 0.0, name
+
+    def test_every_category_amenable_to_repetition(self, suite_results):
+        """Table 7: non-trivial categories show high propensity."""
+        for name, result in suite_results.items():
+            report = result.local_analysis
+            for category in LOCAL_CATEGORIES:
+                if report.overall_pct(category) > 5.0:
+                    assert report.propensity_pct(category) > 20.0, (name, category)
+
+    def test_returns_repeat_near_perfectly(self, suite_results):
+        """Table 7: the return category shows ~100% propensity."""
+        for name, result in suite_results.items():
+            report = result.local_analysis
+            if report.categories["return"].total > 100:
+                assert report.propensity_pct("return") > 90.0, name
+
+
+class TestTable8Shape:
+    def test_almost_no_pure_functions(self, suite_results):
+        """Section 6 / Table 8: almost all functions have side effects or
+        implicit inputs; memoization candidates are scarce."""
+        values = [r.function_analysis.pure_pct for r in suite_results.values()]
+        assert sum(v < 5.0 for v in values) >= 6
+        assert all(v < 35.0 for v in values)
+
+
+class TestFigure5Shape:
+    def test_top5_rarely_covers_everything(self, suite_results):
+        """Figure 5: specializing for the top-5 argument sets does not
+        cover most of the all-argument repetition for most benchmarks."""
+        below_half = sum(
+            1
+            for r in suite_results.values()
+            if r.function_analysis.top_k_coverage[4] < 50.0
+        )
+        assert below_half >= 3
+
+    def test_coverage_monotone_in_k(self, suite_results):
+        for result in suite_results.values():
+            coverage = list(result.function_analysis.top_k_coverage)
+            assert coverage == sorted(coverage)
+
+
+class TestFigure6Shape:
+    def test_coverage_monotone_and_partial(self, suite_results):
+        """Figure 6: the most frequent value covers a sizeable share of a
+        load's repetition, but several values are needed for most of it."""
+        for name, result in suite_results.items():
+            coverage = list(result.value_profile.top_k_coverage)
+            assert coverage == sorted(coverage), name
+            assert coverage[0] > 5.0, name
+            assert coverage[0] < 100.0 or coverage[4] == 100.0
+
+
+class TestTable10Shape:
+    def test_reuse_buffer_captures_large_minority(self, suite_results):
+        """Table 10 vs Table 1: the buffer captures much repetition but
+        leaves clear room for improvement."""
+        for name, result in suite_results.items():
+            captured = result.reuse.repeated_share_pct(
+                result.repetition.dynamic_repeated
+            )
+            assert 25.0 < captured < 98.0, f"{name}: {captured:.1f}%"
+
+    def test_capture_below_total_repetition(self, suite_results):
+        for name, result in suite_results.items():
+            assert result.reuse.hit_pct <= result.repetition.dynamic_repeated_pct, name
+
+
+class TestInputSensitivity:
+    """Section 3: a second input set shows the same trends."""
+
+    def test_repetition_trend_stable(self, suite_results, secondary_results):
+        for name in WORKLOAD_ORDER:
+            primary = suite_results[name].repetition.dynamic_repeated_pct
+            secondary = secondary_results[name].repetition.dynamic_repeated_pct
+            assert abs(primary - secondary) < 20.0, name
+
+    def test_hardwired_dominance_stable(self, suite_results, secondary_results):
+        for name in WORKLOAD_ORDER:
+            report = secondary_results[name].global_analysis
+            hardwired = report.overall_pct("internals") + report.overall_pct(
+                "global init data"
+            )
+            assert hardwired > 55.0, name
+
+    def test_argument_repetition_trend_stable(self, suite_results, secondary_results):
+        for name in WORKLOAD_ORDER:
+            report = secondary_results[name].function_analysis
+            assert report.all_args_repeated_pct > report.no_args_repeated_pct, name

@@ -1,0 +1,55 @@
+"""Tests for the memory map and segment classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import convention
+
+
+class TestMemoryMap:
+    def test_gp_points_into_data(self):
+        assert convention.DATA_BASE < convention.GP_VALUE < convention.HEAP_BASE
+        assert convention.GP_VALUE - convention.DATA_BASE == 0x8000
+
+    def test_layout_ordering(self):
+        assert (
+            convention.TEXT_BASE
+            < convention.DATA_BASE
+            < convention.HEAP_BASE
+            < convention.STACK_LIMIT
+            < convention.STACK_TOP
+        )
+
+
+class TestSegmentOf:
+    @pytest.mark.parametrize(
+        "address,segment",
+        [
+            (convention.TEXT_BASE, "text"),
+            (convention.DATA_BASE, "data"),
+            (convention.DATA_BASE + 0x1234, "data"),
+            (convention.HEAP_BASE, "heap"),
+            (convention.HEAP_BASE + 100, "heap"),
+            (convention.STACK_TOP, "stack"),
+            (convention.STACK_TOP - 64, "stack"),
+            (convention.STACK_LIMIT, "stack"),
+            (0, "other"),
+        ],
+    )
+    def test_classification(self, address, segment):
+        assert convention.segment_of(address) == segment
+
+    def test_boundaries_are_half_open(self):
+        assert convention.segment_of(convention.HEAP_BASE - 4) == "data"
+        assert convention.segment_of(convention.STACK_LIMIT - 4) == "heap"
+
+
+class TestSyscallNumbers:
+    def test_spim_flavoured_numbers(self):
+        assert convention.Syscall.PRINT_INT == 1
+        assert convention.Syscall.READ_INT == 5
+        assert convention.Syscall.SBRK == 9
+        assert convention.Syscall.EXIT == 10
+        assert convention.Syscall.PRINT_CHAR == 11
+        assert convention.Syscall.READ_CHAR == 12

@@ -1,0 +1,149 @@
+"""Tests for binary instruction encoding/decoding.
+
+The strongest check is the whole-program round trip: every workload's
+text segment encodes to machine words and decodes back to structurally
+identical instructions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.encoding import (
+    EncodingError,
+    decode,
+    decode_program,
+    encode,
+    encode_program,
+    equivalent,
+)
+from repro.isa.instructions import Instruction, OPCODES
+from repro.isa.registers import A0, RA, SP, T0, T1, T2, V0
+
+PC = 0x0040_0000
+
+
+def roundtrip(instr: Instruction) -> Instruction:
+    return decode(encode(instr), instr.addr)
+
+
+class TestKnownEncodings:
+    def test_nop_is_zero(self):
+        assert encode(Instruction(OPCODES["nop"], addr=PC)) == 0
+
+    def test_addu_fields(self):
+        word = encode(Instruction(OPCODES["addu"], rd=T2, rs=T0, rt=T1, addr=PC))
+        assert word & 0x3F == 0x21  # funct
+        assert (word >> 11) & 31 == T2
+        assert (word >> 21) & 31 == T0
+        assert (word >> 16) & 31 == T1
+
+    def test_addiu_classic(self):
+        # addiu $sp, $sp, -8 == 0x27BDFFF8 in real MIPS encodings.
+        word = encode(Instruction(OPCODES["addiu"], rt=SP, rs=SP, imm=-8, addr=PC))
+        assert word == 0x27BDFFF8
+
+    def test_lw_classic(self):
+        # lw $v0, 4($sp) == 0x8FA20004
+        word = encode(Instruction(OPCODES["lw"], rt=V0, rs=SP, imm=4, addr=PC))
+        assert word == 0x8FA20004
+
+    def test_jr_ra_classic(self):
+        # jr $ra == 0x03E00008
+        word = encode(Instruction(OPCODES["jr"], rs=RA, addr=PC))
+        assert word == 0x03E00008
+
+    def test_syscall_classic(self):
+        assert encode(Instruction(OPCODES["syscall"], addr=PC)) == 0x0000000C
+
+
+class TestRoundTrips:
+    CASES = [
+        Instruction(OPCODES["addu"], rd=T0, rs=T1, rt=T2, addr=PC),
+        Instruction(OPCODES["subu"], rd=T2, rs=T0, rt=T1, addr=PC),
+        Instruction(OPCODES["sll"], rd=T0, rt=T1, shamt=31, addr=PC),
+        Instruction(OPCODES["srav"], rd=T0, rt=T1, rs=T2, addr=PC),
+        Instruction(OPCODES["addiu"], rt=T0, rs=T1, imm=-32768, addr=PC),
+        Instruction(OPCODES["ori"], rt=T0, rs=T1, imm=0xFFFF, addr=PC),
+        Instruction(OPCODES["lui"], rt=T0, imm=0x1234, addr=PC),
+        Instruction(OPCODES["lw"], rt=T0, rs=SP, imm=124, addr=PC),
+        Instruction(OPCODES["sb"], rt=T0, rs=T1, imm=-1, addr=PC),
+        Instruction(OPCODES["beq"], rs=T0, rt=T1, target=PC + 32, addr=PC),
+        Instruction(OPCODES["bne"], rs=T0, rt=T1, target=PC - 400, addr=PC),
+        Instruction(OPCODES["blez"], rs=T0, target=PC + 8, addr=PC),
+        Instruction(OPCODES["bgez"], rs=T0, target=PC + 4, addr=PC),
+        Instruction(OPCODES["bltz"], rs=A0, target=PC - 64, addr=PC),
+        Instruction(OPCODES["j"], target=0x00400100, addr=PC),
+        Instruction(OPCODES["jal"], target=0x00400200, addr=PC),
+        Instruction(OPCODES["jr"], rs=RA, addr=PC),
+        Instruction(OPCODES["jalr"], rd=RA, rs=T0, addr=PC),
+        Instruction(OPCODES["mult"], rs=T0, rt=T1, addr=PC),
+        Instruction(OPCODES["divu"], rs=T0, rt=T1, addr=PC),
+        Instruction(OPCODES["mfhi"], rd=T0, addr=PC),
+        Instruction(OPCODES["mflo"], rd=V0, addr=PC),
+        Instruction(OPCODES["syscall"], addr=PC),
+        Instruction(OPCODES["nop"], addr=PC),
+    ]
+
+    @pytest.mark.parametrize("instr", CASES, ids=lambda i: i.disassemble())
+    def test_roundtrip(self, instr):
+        assert equivalent(roundtrip(instr), instr), instr.disassemble()
+
+    def test_branch_range_check(self):
+        far = Instruction(OPCODES["beq"], rs=T0, rt=T1, target=PC + (1 << 20), addr=PC)
+        with pytest.raises(EncodingError):
+            encode(far)
+
+    def test_unknown_word_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(0xFC00_0000, PC)  # opcode 0x3F undefined here
+
+
+class TestProgramRoundTrip:
+    def test_assembled_program_roundtrips(self):
+        from repro.asm import assemble
+
+        program = assemble(
+            """
+        .data
+v:      .word 7
+        .text
+        .ent main, 0
+main:   addiu $sp, $sp, -16
+        sw $ra, 12($sp)
+        li $t0, 0x12345678
+        la $t1, v
+        lw $t2, 0($t1)
+loop:   addiu $t2, $t2, -1
+        bgtz $t2, loop
+        jal helper
+        lw $ra, 12($sp)
+        addiu $sp, $sp, 16
+        jr $ra
+        .end main
+        .ent helper, 0
+helper: li $v0, 1
+        move $a0, $zero
+        syscall
+        jr $ra
+        .end helper
+"""
+        )
+        code = encode_program(program.text)
+        assert len(code) == 4 * len(program.text)
+        decoded = decode_program(code, program.text_base)
+        for original, recovered in zip(program.text, decoded):
+            assert equivalent(original, recovered), original.disassemble()
+
+    @pytest.mark.parametrize("name", ["go", "m88ksim", "compress"])
+    def test_workload_text_roundtrips(self, name):
+        from repro.workloads import get_workload
+
+        program = get_workload(name).program()
+        decoded = decode_program(encode_program(program.text), program.text_base)
+        mismatches = [
+            (a.disassemble(), b.disassemble())
+            for a, b in zip(program.text, decoded)
+            if not equivalent(a, b)
+        ]
+        assert not mismatches

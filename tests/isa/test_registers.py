@@ -1,0 +1,59 @@
+"""Tests for register naming and ABI roles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import registers
+
+
+class TestNames:
+    def test_canonical_names(self):
+        assert registers.register_name(0) == "$zero"
+        assert registers.register_name(29) == "$sp"
+        assert registers.register_name(31) == "$ra"
+
+    def test_index_with_and_without_dollar(self):
+        assert registers.register_index("$t0") == registers.T0
+        assert registers.register_index("t0") == registers.T0
+
+    def test_numeric_aliases(self):
+        for index in range(registers.NUM_REGISTERS):
+            assert registers.register_index(f"${index}") == index
+
+    def test_s8_alias_for_fp(self):
+        assert registers.register_index("$s8") == registers.FP
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            registers.register_index("$bogus")
+
+    def test_is_register_name(self):
+        assert registers.is_register_name("$v0")
+        assert registers.is_register_name("gp")
+        assert not registers.is_register_name("$nope")
+
+    def test_roundtrip_all(self):
+        for index in range(registers.NUM_REGISTERS):
+            assert registers.register_index(registers.register_name(index)) == index
+
+
+class TestAbiRoles:
+    def test_argument_registers(self):
+        assert [registers.register_name(r) for r in registers.ARG_REGISTERS] == [
+            "$a0",
+            "$a1",
+            "$a2",
+            "$a3",
+        ]
+
+    def test_callee_saved_are_s_registers(self):
+        names = [registers.register_name(r) for r in registers.CALLEE_SAVED_REGISTERS]
+        assert names == [f"$s{i}" for i in range(8)]
+
+    def test_role_sets_disjoint(self):
+        roles = (
+            set(registers.ARG_REGISTERS)
+            | set(registers.RETURN_VALUE_REGISTERS)
+        ) & set(registers.CALLEE_SAVED_REGISTERS)
+        assert not roles

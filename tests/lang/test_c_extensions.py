@@ -1,0 +1,202 @@
+"""Execution tests for the extended C features: do-while, ++/--, ?:."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.errors import SemaError
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+from tests.helpers import eval_expr, minic_output
+
+
+class TestDoWhile:
+    def test_runs_body_at_least_once(self):
+        setup = "int n = 0; do { n += 1; } while (0);"
+        assert eval_expr("n", setup=setup) == 1
+
+    def test_loops_until_false(self):
+        setup = "int i = 0; int s = 0; do { s += i; i += 1; } while (i < 5);"
+        assert eval_expr("s", setup=setup) == 10
+
+    def test_break_and_continue(self):
+        setup = """
+    int i = 0; int s = 0;
+    do {
+        i += 1;
+        if (i == 3) { continue; }
+        if (i >= 6) { break; }
+        s += i;
+    } while (1);
+"""
+        assert eval_expr("s", setup=setup) == 1 + 2 + 4 + 5
+
+    def test_optimized_matches(self):
+        from tests.helpers import run_minic
+        from repro.lang import compile_source
+        from repro.sim import Simulator
+
+        source = """
+int main() {
+    int i = 10; int s = 0;
+    do { s += i; i -= 1; } while (i > 0);
+    print_int(s);
+    return 0;
+}
+"""
+        plain = run_minic(source)
+        optimized = Simulator(compile_source(source, optimize=True)).run()
+        assert plain.output == optimized.output == "55"
+
+
+class TestIncDec:
+    def test_prefix_value(self):
+        assert eval_expr("++x", setup="int x = 5;") == 6
+        assert eval_expr("--x", setup="int x = 5;") == 4
+
+    def test_postfix_value(self):
+        assert eval_expr("x++", setup="int x = 5;") == 5
+        assert eval_expr("x--", setup="int x = 5;") == 5
+
+    def test_side_effect_applies(self):
+        assert eval_expr("x", setup="int x = 5; x++;") == 6
+        assert eval_expr("x", setup="int x = 5; --x;") == 4
+
+    def test_postfix_in_expression(self):
+        setup = "int x = 5; int y = x++ * 2;"
+        assert eval_expr("y * 100 + x", setup=setup) == 10 * 100 + 6
+
+    def test_loop_idiom(self):
+        setup = "int i; int s = 0; for (i = 0; i < 10; i++) { s += i; }"
+        assert eval_expr("s", setup=setup) == 45
+
+    def test_array_element(self):
+        setup = "int a[3]; a[1] = 7; a[1]++; ++a[1];"
+        assert eval_expr("a[1]", setup=setup) == 9
+
+    def test_pointer_increment_scales(self):
+        source = """
+int data[4] = {10, 20, 30, 40};
+int main() {
+    int *p = data;
+    int s = 0;
+    s += *p++;
+    s += *p++;
+    s += *p;
+    print_int(s);
+    return 0;
+}
+"""
+        assert minic_output(source) == "60"
+
+    def test_deref_target(self):
+        setup = "int x = 3; int *p = &x; (*p)++;"
+        assert eval_expr("x", setup=setup) == 4
+
+    def test_global_target(self):
+        source = """
+int counter = 10;
+int main() {
+    counter++;
+    ++counter;
+    print_int(counter--);
+    print_int(counter);
+    return 0;
+}
+"""
+        assert minic_output(source) == "1211"
+
+    def test_char_target(self):
+        source = """
+char c = 'a';
+int main() { c++; putchar(c); return 0; }
+"""
+        assert minic_output(source) == "b"
+
+    def test_requires_lvalue(self):
+        with pytest.raises(SemaError, match="lvalue"):
+            analyze(parse("int main() { 5++; return 0; }"))
+
+    def test_rejects_array(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int main() { int a[3]; a++; return 0; }"))
+
+
+class TestTernary:
+    def test_basic_selection(self):
+        assert eval_expr("x > 0 ? 1 : -1", setup="int x = 5;") == 1
+        assert eval_expr("x > 0 ? 1 : -1", setup="int x = -5;") == -1
+
+    def test_only_selected_arm_evaluated(self):
+        source = """
+int calls = 0;
+int bump() { calls += 1; return 9; }
+int main() {
+    int r = 1 ? 3 : bump();
+    print_int(r); putchar(' '); print_int(calls);
+    return 0;
+}
+"""
+        assert minic_output(source) == "3 0"
+
+    def test_nested(self):
+        setup = "int x = 15;"
+        expr = "x < 10 ? 1 : x < 20 ? 2 : 3"
+        assert eval_expr(expr, setup=setup) == 2
+
+    def test_in_argument_position(self):
+        source = """
+int pick(int v) { return v * 10; }
+int main() { print_int(pick(0 ? 7 : 4)); return 0; }
+"""
+        assert minic_output(source) == "40"
+
+    def test_pointer_arms(self):
+        source = """
+int a = 1;
+int b = 2;
+int main() {
+    int flag = 1;
+    int *p = flag ? &a : &b;
+    print_int(*p);
+    return 0;
+}
+"""
+        assert minic_output(source) == "1"
+
+    def test_constant_cond_folds_under_optimizer(self):
+        from repro.lang.compiler import compile_to_assembly
+
+        plain = compile_to_assembly("int main() { print_int(1 ? 5 : 6); return 0; }")
+        optimized = compile_to_assembly(
+            "int main() { print_int(1 ? 5 : 6); return 0; }", optimize=True
+        )
+        assert len(optimized.splitlines()) < len(plain.splitlines())
+
+    def test_incompatible_arms_rejected(self):
+        with pytest.raises(SemaError, match="incompatible"):
+            analyze(
+                parse(
+                    "int main() { int *p; int q; p = 1 ? p : &p; return 0; }"
+                )
+            )
+
+    def test_optimizer_preserves_semantics(self):
+        from repro.lang import compile_source
+        from repro.sim import Simulator
+
+        source = """
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 8; i++) {
+        s += (i % 2 == 0) ? i : -i;
+    }
+    print_int(s);
+    return 0;
+}
+"""
+        plain = Simulator(compile_source(source)).run()
+        optimized = Simulator(compile_source(source, optimize=True)).run()
+        assert plain.output == optimized.output == "-4"

@@ -1,0 +1,182 @@
+"""Tests for the MiniC optimizer.
+
+The key property: optimization never changes program output — verified
+by running a corpus of programs both ways.  Individual transformations
+are checked by counting dynamic instructions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import compile_source
+from repro.lang.compiler import compile_to_assembly
+from repro.lang.optimizer import peephole_assembly
+from repro.sim import Simulator
+
+
+def run_both(source: str, input_data: bytes = b""):
+    plain = Simulator(compile_source(source), input_data=input_data).run()
+    optimized = Simulator(
+        compile_source(source, optimize=True), input_data=input_data
+    ).run()
+    return plain, optimized
+
+
+CORPUS = [
+    """
+int main() {
+    print_int(2 * 3 + 4 * (5 - 1));
+    putchar('\\n');
+    return 0;
+}
+""",
+    """
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { print_int(fib(12)); return 0; }
+""",
+    """
+int data[16];
+int main() {
+    int i;
+    for (i = 0; i < 16; i += 1) { data[i] = i * 8; }
+    print_int(data[7] + data[15] * 1 + 0);
+    return 0;
+}
+""",
+    """
+int main() {
+    int x = read_int();
+    if (1) { print_int(x * 4); } else { print_int(99); }
+    while (0) { print_int(123); }
+    if (0) { print_int(456); }
+    return 0;
+}
+""",
+    """
+int square(int x) { return x * x; }
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 20; i += 1) { s += square(i) - 0 + (i << 0); }
+    print_int(s);
+    return 0;
+}
+""",
+]
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("index", range(len(CORPUS)))
+    def test_same_output(self, index):
+        plain, optimized = run_both(CORPUS[index], input_data=b"21")
+        assert plain.output == optimized.output
+        assert plain.stop_reason == optimized.stop_reason
+
+    def test_workloads_unchanged_by_optimization(self):
+        """All eight workloads must produce identical results at -O1."""
+        from repro.workloads import WORKLOADS
+
+        for workload in WORKLOADS.values():
+            data = workload.primary_input(1)
+            plain = Simulator(workload.program(), input_data=data).run()
+            optimized = Simulator(
+                compile_source(workload.source(), optimize=True), input_data=data
+            ).run()
+            assert plain.output == optimized.output, workload.name
+
+
+class TestTransformations:
+    def test_constant_folding_reduces_instructions(self):
+        source = """
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 50; i += 1) { s += 2 * 3 + 4 - 1; }
+    print_int(s);
+    return 0;
+}
+"""
+        plain, optimized = run_both(source)
+        assert optimized.total_instructions < plain.total_instructions
+
+    def test_mul_by_power_of_two_becomes_shift(self):
+        text = compile_to_assembly(
+            "int main() { int x = read_int(); print_int(x * 8); return 0; }",
+            optimize=True,
+        )
+        assert "sllv" in text or "sll" in text
+        assert "mult" not in text
+
+    def test_dead_if_removed(self):
+        text = compile_to_assembly(
+            "int main() { if (0) { print_int(1); } return 0; }", optimize=True
+        )
+        plain = compile_to_assembly(
+            "int main() { if (0) { print_int(1); } return 0; }", optimize=False
+        )
+        assert len(text.splitlines()) < len(plain.splitlines())
+
+    def test_dead_while_removed(self):
+        plain, optimized = run_both(
+            "int main() { while (0) { print_int(9); } print_int(1); return 0; }"
+        )
+        assert optimized.total_instructions < plain.total_instructions
+        assert optimized.output == "1"
+
+    def test_pure_statement_dropped(self):
+        plain, optimized = run_both(
+            "int main() { int x = 5; x + 3; print_int(x); return 0; }"
+        )
+        assert optimized.output == "5"
+        assert optimized.total_instructions < plain.total_instructions
+
+    def test_impure_subexpression_kept(self):
+        # x * 0 must NOT drop the call inside x.
+        source = """
+int calls = 0;
+int bump() { calls += 1; return 7; }
+int main() {
+    int r = bump() * 0;
+    print_int(r); putchar(' '); print_int(calls);
+    return 0;
+}
+"""
+        plain, optimized = run_both(source)
+        assert plain.output == optimized.output == "0 1"
+
+    def test_for_with_constant_false_keeps_impure_init(self):
+        source = """
+int main() {
+    int x = 0;
+    for (x = 5; 0; x += 1) { print_int(9); }
+    print_int(x);
+    return 0;
+}
+"""
+        plain, optimized = run_both(source)
+        assert plain.output == optimized.output == "5"
+
+    def test_division_by_zero_not_folded(self):
+        # 1/0 stays a runtime operation (defined as 0 by the machine).
+        plain, optimized = run_both("int main() { print_int(1 / 0); return 0; }")
+        assert plain.output == optimized.output
+
+
+class TestPeephole:
+    def test_self_move_removed(self):
+        text = "  move $t0, $t0\n  move $t1, $t2\n"
+        cleaned = peephole_assembly(text)
+        assert "move $t0, $t0" not in cleaned
+        assert "move $t1, $t2" in cleaned
+
+    def test_branch_to_next_line_removed(self):
+        text = "  b L1\nL1:\n  nop\n"
+        cleaned = peephole_assembly(text)
+        assert "b L1" not in cleaned
+        assert "L1:" in cleaned
+
+    def test_branch_elsewhere_kept(self):
+        text = "  b L2\nL1:\n  nop\nL2:\n"
+        assert "b L2" in peephole_assembly(text)

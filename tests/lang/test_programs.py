@@ -1,0 +1,310 @@
+"""End-to-end program corpus: classic algorithms through the full stack.
+
+Each program is compiled, simulated, and its output checked against a
+Python reference implementation — differential testing of the compiler,
+assembler, and simulator together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import minic_output
+
+
+class TestSorting:
+    BUBBLE = """
+int data[12];
+
+void sort(int *a, int n) {
+    int i; int j;
+    for (i = 0; i < n - 1; i += 1) {
+        for (j = 0; j < n - 1 - i; j += 1) {
+            if (a[j] > a[j + 1]) {
+                int tmp = a[j];
+                a[j] = a[j + 1];
+                a[j + 1] = tmp;
+            }
+        }
+    }
+}
+
+int main() {
+    int i;
+    int seed = 7;
+    for (i = 0; i < 12; i += 1) {
+        seed = (seed * 1103515245 + 12345) & 2147483647;
+        data[i] = seed % 100;
+    }
+    sort(data, 12);
+    for (i = 0; i < 12; i += 1) {
+        print_int(data[i]);
+        putchar(' ');
+    }
+    return 0;
+}
+"""
+
+    def reference(self):
+        seed = 7
+        values = []
+        for _ in range(12):
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+            values.append(seed % 100)
+        return sorted(values)
+
+    def test_bubble_sort(self):
+        output = minic_output(self.BUBBLE)
+        assert [int(x) for x in output.split()] == self.reference()
+
+
+class TestNumberTheory:
+    def test_gcd(self):
+        source = """
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+int main() {
+    print_int(gcd(1071, 462)); putchar(' ');
+    print_int(gcd(17, 5)); putchar(' ');
+    print_int(gcd(100, 100));
+    return 0;
+}
+"""
+        assert minic_output(source) == "21 1 100"
+
+    def test_sieve_of_eratosthenes(self):
+        source = """
+int is_composite[100];
+int main() {
+    int i; int j; int count = 0;
+    for (i = 2; i < 100; i += 1) {
+        if (!is_composite[i]) {
+            count += 1;
+            for (j = i * i; j < 100; j += i) {
+                is_composite[j] = 1;
+            }
+        }
+    }
+    print_int(count);
+    return 0;
+}
+"""
+        primes_below_100 = sum(
+            1
+            for n in range(2, 100)
+            if all(n % d for d in range(2, int(n**0.5) + 1))
+        )
+        assert int(minic_output(source)) == primes_below_100 == 25
+
+    def test_collatz(self):
+        source = """
+int steps(int n) {
+    int count = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        count += 1;
+    }
+    return count;
+}
+int main() { print_int(steps(27)); return 0; }
+"""
+        def collatz(n):
+            count = 0
+            while n != 1:
+                n = n // 2 if n % 2 == 0 else 3 * n + 1
+                count += 1
+            return count
+
+        assert int(minic_output(source)) == collatz(27) == 111
+
+    def test_binary_exponentiation(self):
+        source = """
+int power_mod(int base, int exp, int mod) {
+    int result = 1;
+    base = base % mod;
+    while (exp > 0) {
+        if (exp & 1) { result = (result * base) % mod; }
+        base = (base * base) % mod;
+        exp = exp >> 1;
+    }
+    return result;
+}
+int main() { print_int(power_mod(7, 20, 10007)); return 0; }
+"""
+        assert int(minic_output(source)) == pow(7, 20, 10007)
+
+
+class TestStrings:
+    def test_string_reverse(self):
+        source = """
+char buf[32];
+int main() {
+    int n = 0;
+    int c = getchar();
+    int i;
+    while (c >= 0 && n < 31) {
+        buf[n] = c;
+        n += 1;
+        c = getchar();
+    }
+    for (i = n - 1; i >= 0; i -= 1) {
+        putchar(buf[i]);
+    }
+    return 0;
+}
+"""
+        assert minic_output(source, b"hello world") == "dlrow olleh"
+
+    def test_naive_substring_search(self):
+        source = """
+char text[32] = "the cat sat on the mat";
+char pattern[4] = "at";
+int main() {
+    int hits = 0;
+    int i;
+    for (i = 0; text[i] != 0; i += 1) {
+        int j = 0;
+        while (pattern[j] != 0 && text[i + j] == pattern[j]) {
+            j += 1;
+        }
+        if (pattern[j] == 0) { hits += 1; }
+    }
+    print_int(hits);
+    return 0;
+}
+"""
+        assert int(minic_output(source)) == "the cat sat on the mat".count("at")
+
+    def test_atoi(self):
+        source = """
+int atoi_(char *s) {
+    int value = 0;
+    int sign = 1;
+    int i = 0;
+    if (s[0] == '-') { sign = -1; i = 1; }
+    while (s[i] >= '0' && s[i] <= '9') {
+        value = value * 10 + (s[i] - '0');
+        i += 1;
+    }
+    return value * sign;
+}
+int main() {
+    print_int(atoi_("-12345") + atoi_("678"));
+    return 0;
+}
+"""
+        assert int(minic_output(source)) == -12345 + 678
+
+
+class TestMatrix:
+    def test_matrix_multiply(self):
+        source = """
+int a[16];
+int b[16];
+int c[16];
+int main() {
+    int i; int j; int k;
+    for (i = 0; i < 16; i += 1) {
+        a[i] = i + 1;
+        b[i] = 16 - i;
+    }
+    for (i = 0; i < 4; i += 1) {
+        for (j = 0; j < 4; j += 1) {
+            int sum = 0;
+            for (k = 0; k < 4; k += 1) {
+                sum += a[i * 4 + k] * b[k * 4 + j];
+            }
+            c[i * 4 + j] = sum;
+        }
+    }
+    print_int(c[0]); putchar(' ');
+    print_int(c[5]); putchar(' ');
+    print_int(c[15]);
+    return 0;
+}
+"""
+        a = [[i * 4 + j + 1 for j in range(4)] for i in range(4)]
+        b = [[16 - (i * 4 + j) for j in range(4)] for i in range(4)]
+        c = [
+            [sum(a[i][k] * b[k][j] for k in range(4)) for j in range(4)]
+            for i in range(4)
+        ]
+        expected = f"{c[0][0]} {c[1][1]} {c[3][3]}"
+        assert minic_output(source) == expected
+
+
+class TestDataStructures:
+    def test_stack_machine(self):
+        source = """
+int stack[32];
+int sp_ = 0;
+void push(int v) { stack[sp_] = v; sp_ += 1; }
+int pop() { sp_ -= 1; return stack[sp_]; }
+int main() {
+    /* (3 + 4) * (10 - 8) */
+    push(3); push(4);
+    push(pop() + pop());
+    push(10); push(8);
+    {
+        int b = pop();
+        int a = pop();
+        push(a - b);
+    }
+    {
+        int y = pop();
+        int x = pop();
+        print_int(x * y);
+    }
+    return 0;
+}
+"""
+        assert int(minic_output(source)) == (3 + 4) * (10 - 8)
+
+    def test_linked_list_on_heap(self):
+        source = """
+int *nodes;
+int node_count = 0;
+
+int new_node(int value, int next) {
+    int id = node_count;
+    nodes[id * 2] = value;
+    nodes[id * 2 + 1] = next;
+    node_count += 1;
+    return id;
+}
+
+int main() {
+    int head = -1;
+    int i; int sum = 0;
+    nodes = (sbrk(1024));
+    for (i = 1; i <= 10; i += 1) {
+        head = new_node(i * i, head);
+    }
+    while (head >= 0) {
+        sum += nodes[head * 2];
+        head = nodes[head * 2 + 1];
+    }
+    print_int(sum);
+    return 0;
+}
+"""
+        assert int(minic_output(source)) == sum(i * i for i in range(1, 11))
+
+    def test_fibonacci_memoized(self):
+        source = """
+int memo[40];
+int fib(int n) {
+    if (n < 2) { return n; }
+    if (memo[n] != 0) { return memo[n]; }
+    memo[n] = fib(n - 1) + fib(n - 2);
+    return memo[n];
+}
+int main() { print_int(fib(30)); return 0; }
+"""
+        assert int(minic_output(source)) == 832040

@@ -1,0 +1,149 @@
+"""Tests for the debugger (breakpoints, watchpoints, stepping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import compile_source
+from repro.sim import SimError
+from repro.sim.debug import Debugger
+
+SOURCE = """
+int total = 0;
+
+int accumulate(int x) {
+    total += x;
+    return total;
+}
+
+int main() {
+    int i;
+    for (i = 1; i <= 5; i++) {
+        accumulate(i);
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def make_debugger(source=SOURCE, input_data=b""):
+    return Debugger(compile_source(source), input_data=input_data)
+
+
+class TestBreakpoints:
+    def test_break_at_function_entry(self):
+        debugger = make_debugger()
+        debugger.add_breakpoint("accumulate")
+        stop = debugger.run()
+        assert stop.reason == "breakpoint"
+        assert debugger.current_function() == "accumulate"
+
+    def test_hit_count_over_loop(self):
+        debugger = make_debugger()
+        debugger.add_breakpoint("accumulate")
+        hits = 0
+        stop = debugger.run()
+        while stop.reason == "breakpoint":
+            hits += 1
+            stop = debugger.cont()
+        assert hits == 5
+        assert stop.reason == "halt"
+
+    def test_argument_values_at_stop(self):
+        debugger = make_debugger()
+        debugger.add_breakpoint("accumulate")
+        values = []
+        stop = debugger.run()
+        while stop.reason == "breakpoint":
+            values.append(debugger.read_register("$a0"))
+            stop = debugger.cont()
+        assert values == [1, 2, 3, 4, 5]
+
+    def test_remove_breakpoint(self):
+        debugger = make_debugger()
+        debugger.add_breakpoint("accumulate")
+        stop = debugger.run()
+        assert stop.reason == "breakpoint"
+        debugger.remove_breakpoint("accumulate")
+        stop = debugger.cont()
+        assert stop.reason == "halt"
+
+    def test_unknown_symbol(self):
+        debugger = make_debugger()
+        with pytest.raises(KeyError):
+            debugger.add_breakpoint("nosuch")
+
+
+class TestWatchpoints:
+    def test_watch_global_writes(self):
+        debugger = make_debugger()
+        debugger.add_watchpoint("total")
+        hits = 0
+        stop = debugger.run()
+        while stop.reason == "watchpoint":
+            hits += 1
+            stop = debugger.cont()
+        # total is stored 5x and loaded several times (loads count too).
+        assert hits >= 5
+        assert stop.reason == "halt"
+
+    def test_watch_reports_address(self):
+        debugger = make_debugger()
+        watched = debugger.add_watchpoint("total")
+        stop = debugger.run()
+        assert stop.reason == "watchpoint"
+        assert stop.address == watched
+
+
+class TestStepping:
+    def test_single_step(self):
+        debugger = make_debugger()
+        stop = debugger.step()
+        assert stop.reason == "step"
+        assert stop.instructions == 1
+
+    def test_multi_step(self):
+        debugger = make_debugger()
+        stop = debugger.step(10)
+        assert stop.reason == "step"
+        assert stop.instructions == 10
+        stop = debugger.step(5)
+        assert stop.instructions == 15
+
+    def test_step_then_continue_to_end(self):
+        debugger = make_debugger()
+        debugger.step(3)
+        stop = debugger.cont()
+        assert stop.reason == "halt"
+        assert stop.output == "15"
+
+
+class TestInspection:
+    def test_read_memory_by_symbol(self):
+        debugger = make_debugger()
+        debugger.add_breakpoint("main")
+        debugger.run()
+        assert debugger.read_word("total") == 0
+        stop = debugger.cont()
+        assert stop.reason == "halt"
+        assert debugger.read_word("total") == 15
+
+    def test_backtrace(self):
+        debugger = make_debugger()
+        debugger.add_breakpoint("accumulate")
+        debugger.run()
+        assert debugger.backtrace() == ["main", "accumulate"]
+
+    def test_finished_guard(self):
+        debugger = make_debugger()
+        stop = debugger.run()
+        assert stop.reason == "halt"
+        assert debugger.finished
+        with pytest.raises(SimError):
+            debugger.run()
+
+    def test_output_accumulates_in_stops(self):
+        debugger = make_debugger()
+        stop = debugger.run()
+        assert stop.output == "15"

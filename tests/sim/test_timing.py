@@ -1,0 +1,179 @@
+"""Tests for the trace-driven timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ReuseBuffer
+from repro.lang import compile_source
+from repro.sim import Simulator, TimingConfig, TimingModel
+from repro.sim.timing import _BranchPredictor, _Cache
+
+from tests.helpers import make_step
+
+PC = 0x0040_0000
+
+
+class TestCache:
+    def test_first_touch_misses_then_hits(self):
+        cache = _Cache(lines=8, assoc=2, line_bytes=16)
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.access(0x100C)  # same 16-byte line
+
+    def test_distinct_lines(self):
+        cache = _Cache(lines=8, assoc=2, line_bytes=16)
+        cache.access(0x1000)
+        assert not cache.access(0x1010)
+
+    def test_lru_eviction(self):
+        cache = _Cache(lines=2, assoc=2, line_bytes=16)  # one set, 2 ways
+        cache.access(0x0000)
+        cache.access(0x0040)  # conflicting set? one set => any line maps here
+        cache.access(0x0080)  # evicts 0x0000
+        assert not cache.access(0x0000)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            _Cache(lines=10, assoc=4, line_bytes=16)
+
+    def test_miss_rate(self):
+        cache = _Cache(lines=8, assoc=2, line_bytes=16)
+        cache.access(0x1000)
+        cache.access(0x1000)
+        assert cache.miss_rate_pct == pytest.approx(50.0)
+
+
+class TestBranchPredictor:
+    def test_learns_always_taken(self):
+        predictor = _BranchPredictor(16)
+        results = [predictor.predict_and_update(PC, True) for _ in range(10)]
+        # Initial weakly-not-taken state mispredicts briefly, then locks on.
+        assert not results[0]
+        assert all(results[2:])
+
+    def test_learns_never_taken(self):
+        predictor = _BranchPredictor(16)
+        results = [predictor.predict_and_update(PC, False) for _ in range(5)]
+        assert all(results)  # weakly not-taken predicts correctly at once
+
+    def test_alternating_pattern_hurts(self):
+        predictor = _BranchPredictor(16)
+        for i in range(20):
+            predictor.predict_and_update(PC, i % 2 == 0)
+        assert predictor.mispredict_rate_pct > 25.0
+
+
+class TestCycleAccounting:
+    def _run(self, steps, config=TimingConfig(), reuse=None):
+        model = TimingModel(config, reuse)
+        for step in steps:
+            model.on_step(step)
+        return model.report()
+
+    def test_straightline_alu_cpi_near_one(self):
+        # Same I-cache line, plain ALU ops: 1 cycle each after the fetch miss.
+        steps = [
+            make_step(pc=PC, op="addu", inputs=(i, 1), outputs=(i + 1,))
+            for i in range(50)
+        ]
+        report = self._run(steps)
+        assert report.cycles == 50 + TimingConfig().cache_miss_penalty
+
+    def test_mult_and_div_latency(self):
+        config = TimingConfig()
+        steps = [
+            make_step(pc=PC, op="mult", inputs=(2, 3), outputs=(0, 6)),
+            make_step(pc=PC, op="div", inputs=(7, 2), outputs=(1, 3)),
+        ]
+        report = self._run(steps)
+        expected = 2 + config.mult_latency + config.div_latency + config.cache_miss_penalty
+        assert report.cycles == expected
+
+    def test_load_miss_penalty(self):
+        config = TimingConfig()
+        steps = [
+            make_step(pc=PC, op="lw", inputs=(0,), outputs=(1,), mem_addr=0x1000_0000,
+                      dest_reg=8, dest_value=1),
+            make_step(pc=PC, op="lw", inputs=(0,), outputs=(1,), mem_addr=0x1000_0000,
+                      dest_reg=8, dest_value=1),
+        ]
+        report = self._run(steps)
+        # One I-miss + one D-miss, second load hits both caches.
+        assert report.cycles == 2 + 2 * config.cache_miss_penalty
+
+    def test_syscall_cost(self):
+        config = TimingConfig()
+        report = self._run([make_step(pc=PC, op="syscall", inputs=(1, 5), outputs=())])
+        assert report.cycles == 1 + config.syscall_cost + config.cache_miss_penalty
+
+
+class TestReuseIntegration:
+    def test_reused_instruction_skips_stalls(self):
+        config = TimingConfig()
+        buffer = ReuseBuffer(entries=16, associativity=4)
+        model = TimingModel(config, reuse_provider=buffer.was_reused)
+        first = make_step(pc=PC, op="div", inputs=(6, 3), outputs=(0, 2))
+        second = make_step(pc=PC, op="div", inputs=(6, 3), outputs=(0, 2))
+        for step in (first, second):
+            buffer.on_step(step)
+            model.on_step(step)
+        report = model.report()
+        # First div pays the latency; the reused one is a single cycle.
+        assert report.reused_instructions == 1
+        assert report.cycles == (1 + config.cache_miss_penalty + config.div_latency) + 1
+
+    def test_reuse_speedup_end_to_end(self):
+        # The divider instance count (4 distinct inputs) fits inside one
+        # 4-way reuse set, so the 11-cycle divides become reuse hits —
+        # with 16+ distinct instances the PC-indexed set would thrash and
+        # reuse would capture nothing (the scheme's real limitation).
+        source = """
+int table[4];
+int lookup(int i) { return table[i & 3] / 3; }
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 4; i += 1) { table[i] = (i + 2) * 100; }
+    for (i = 0; i < 300; i += 1) { s += lookup(i); }
+    print_int(s);
+    return 0;
+}
+"""
+        program = compile_source(source)
+
+        base_model = TimingModel()
+        Simulator(program, analyzers=[base_model]).run()
+        baseline = base_model.report()
+
+        buffer = ReuseBuffer()
+        reuse_model = TimingModel(reuse_provider=buffer.was_reused)
+        Simulator(program, analyzers=[buffer, reuse_model]).run()
+        with_reuse = reuse_model.report()
+
+        assert with_reuse.instructions == baseline.instructions
+        assert with_reuse.cycles < baseline.cycles
+        assert with_reuse.speedup_over(baseline) > 1.0
+
+    def test_out_of_order_reuse_query_rejected(self):
+        buffer = ReuseBuffer(entries=16, associativity=4)
+        first = make_step(pc=PC, op="addu", inputs=(1, 2), outputs=(3,))
+        second = make_step(pc=PC, op="addu", inputs=(1, 2), outputs=(3,))
+        buffer.on_step(first)
+        buffer.on_step(second)
+        with pytest.raises(RuntimeError):
+            buffer.was_reused(first)
+
+
+class TestEndToEnd:
+    def test_workload_cpi_plausible(self):
+        from repro.workloads import get_workload
+
+        workload = get_workload("m88ksim")
+        model = TimingModel()
+        Simulator(
+            workload.program(), input_data=workload.primary_input(1), analyzers=[model]
+        ).run(limit=30_000)
+        report = model.report()
+        assert 1.0 <= report.cpi < 5.0
+        assert 0.0 <= report.branch_mispredict_rate_pct < 50.0
+        assert report.icache_miss_rate_pct < 5.0  # tiny hot kernels

@@ -1,0 +1,205 @@
+"""Cross-validation: workload outputs vs. independent Python references.
+
+For the workloads with checkable semantics (LZW compression, word
+scoring, the toy-CPU interpreter), a reference implementation in Python
+recomputes the expected output — catching compiler/simulator/workload
+bugs that determinism tests alone would miss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.workloads import get_workload
+
+
+def run_workload(name, input_data):
+    workload = get_workload(name)
+    result = Simulator(workload.program(), input_data=input_data).run()
+    assert result.stop_reason in ("halt", "exit")
+    return result.output.split()
+
+
+class TestCompressReference:
+    """LZW reference mirroring compress_like.mc exactly."""
+
+    @staticmethod
+    def reference_lzw(data: bytes):
+        tab_prefix = [0] * 4096
+        tab_suffix = [0] * 4096
+        tab_code = [-1] * 4096
+        next_code = 256
+        entries = 0
+        codes = 0
+        checksum = 0
+        in_bytes = 0
+
+        def probe(prefix, suffix):
+            slot = ((prefix << 4) ^ suffix ^ (prefix >> 7)) & 4095
+            for _ in range(4096):
+                if tab_code[slot] < 0:
+                    return slot
+                if tab_prefix[slot] == prefix and tab_suffix[slot] == suffix:
+                    return slot
+                slot = (slot + 61) & 4095
+            return -1
+
+        def emit(code):
+            nonlocal codes, checksum
+            codes += 1
+            checksum = (checksum * 31 + code) & 16777215
+
+        stream = iter(data)
+        try:
+            prefix = next(stream)
+        except StopIteration:
+            return 0, 0, 0, 0
+        in_bytes = 1
+        for c in stream:
+            in_bytes += 1
+            slot = probe(prefix, c)
+            if slot >= 0 and tab_code[slot] >= 0:
+                prefix = tab_code[slot]
+            else:
+                emit(prefix)
+                if slot >= 0 and next_code < 4096:
+                    tab_prefix[slot] = prefix
+                    tab_suffix[slot] = c
+                    tab_code[slot] = next_code
+                    next_code += 1
+                    entries += 1
+                prefix = c
+        emit(prefix)
+        return in_bytes, codes, entries, checksum
+
+    @pytest.mark.parametrize("kind", ["primary", "secondary"])
+    def test_matches_reference(self, kind):
+        workload = get_workload("compress")
+        data = getattr(workload, f"{kind}_input")(1)
+        measured = [int(x) for x in run_workload("compress", data)]
+        assert tuple(measured) == self.reference_lzw(data)
+
+
+class TestPerlReference:
+    """Scrabble-scoring reference mirroring perl_like.mc."""
+
+    LETTER_VALUES = [1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3,
+                     1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10]
+
+    def reference_scores(self, data: bytes):
+        words = data.decode().split()
+        counts = {}
+        total = 0
+        best = 0
+        lookup_hits = 0
+        for word in words:
+            word = word[:31]
+            if word in counts:
+                lookup_hits += 1
+            counts[word] = counts.get(word, 0) + 1
+            score = sum(
+                self.LETTER_VALUES[ord(c) - ord("a")]
+                for c in word
+                if "a" <= c <= "z"
+            )
+            if len(word) >= 7:
+                score += 50
+            if counts[word] > 3:
+                score //= 2
+            total += score
+            best = max(best, score)
+        return len(words), len(counts), total, best, lookup_hits
+
+    @pytest.mark.parametrize("kind", ["primary", "secondary"])
+    def test_matches_reference(self, kind):
+        workload = get_workload("perl")
+        data = getattr(workload, f"{kind}_input")(1)
+        measured = tuple(int(x) for x in run_workload("perl", data))
+        assert measured == self.reference_scores(data)
+
+
+class TestM88kReference:
+    """Re-implements the toy-CPU interpreter in Python and checks the
+    checksums the MiniC interpreter reports."""
+
+    ROM = [
+        4096,
+        4096 + 512 * 3,
+        7 * 4096 + 512 * 4 + 64 * 3,
+        2 * 4096 + 512 * 1 + 64 * 1 + 4,
+        10 * 4096 + 512 * 5 + 64 * 3 + 8,
+        8 * 4096 + 512 * 1 + 64 * 5,
+        10 * 4096 + 512 * 3 + 64 * 3 + 1,
+        11 * 4096 + 512 * 6 + 64 * 3 + 2,
+        9 * 4096 + 64 * 6 + 27,
+        6 * 4096 + 512 * 1 + 64 * 1 + 2,
+        4 * 4096 + 512 * 1 + 64 * 1 + 1,
+        0,
+    ] + [0] * 12
+
+    def reference(self, runs: int):
+        mask = 0xFFFFFFFF
+
+        def s32(v):
+            v &= mask
+            return v - (1 << 32) if v & 0x80000000 else v
+
+        regs = [0] * 8
+        mem = [(i * 7 + 3) & 31 for i in range(64)]
+        cycles = 0
+        writes = 0
+        checksum = 0
+        for run in range(runs):
+            pc = 0
+            regs[2] = 8 + (run & 7)
+            running = True
+            while running:
+                word = self.ROM[pc % 24]
+                op, rd, rs, imm = word // 4096, (word // 512) % 8, (word // 64) % 8, word % 64
+                pc += 1
+                cycles += 1
+                if op == 0:
+                    running = False
+                elif op == 1:
+                    if rd:
+                        regs[rd] = imm
+                elif op == 7:
+                    if rd:
+                        regs[rd] = mem[regs[rs] & 63]
+                elif op == 8:
+                    mem[regs[rs] & 63] = regs[rd]
+                    writes += 1
+                elif op == 9:
+                    if regs[rs] != 0:
+                        pc = pc + imm - 32
+                elif op == 10:
+                    if rd:
+                        regs[rd] = s32(regs[rs] + imm)
+                else:
+                    a, b = regs[rs], regs[imm & 7]
+                    if op == 2:
+                        value = s32(a + b)
+                    elif op == 3:
+                        value = s32(a - b)
+                    elif op == 4:
+                        value = a & b
+                    elif op == 5:
+                        value = a | b
+                    elif op == 6:
+                        value = s32(a << (b & 31))
+                    elif op == 11:
+                        value = 1 if a < b else 0
+                    else:
+                        value = 0
+                    if rd:
+                        regs[rd] = value
+            checksum = s32(checksum + regs[1] + pc)
+        return checksum, cycles, writes
+
+    def test_matches_reference(self):
+        workload = get_workload("m88ksim")
+        data = workload.primary_input(1)
+        runs = int(data.split()[0])
+        measured = tuple(int(x) for x in run_workload("m88ksim", data))
+        assert measured == self.reference(runs)

@@ -1,0 +1,108 @@
+"""Tests for the synthetic workload suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.workloads import WORKLOADS, WORKLOAD_ORDER, get_workload
+from repro.workloads.base import DeterministicRandom, words_text
+
+
+class TestRegistry:
+    def test_eight_workloads_in_paper_order(self):
+        assert WORKLOAD_ORDER == (
+            "go",
+            "m88ksim",
+            "ijpeg",
+            "perl",
+            "vortex",
+            "li",
+            "gcc",
+            "compress",
+        )
+
+    def test_lookup(self):
+        assert get_workload("go").name == "go"
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nosuch")
+
+    def test_descriptions_mention_spec(self):
+        for workload in WORKLOADS.values():
+            assert "SPEC95" in workload.spec_analogue
+
+
+class TestInputs:
+    @pytest.mark.parametrize("name", WORKLOAD_ORDER)
+    def test_inputs_deterministic(self, name):
+        workload = get_workload(name)
+        assert workload.primary_input(1) == workload.primary_input(1)
+        assert workload.secondary_input(1) == workload.secondary_input(1)
+
+    @pytest.mark.parametrize("name", WORKLOAD_ORDER)
+    def test_primary_differs_from_secondary(self, name):
+        workload = get_workload(name)
+        assert workload.primary_input(1) != workload.secondary_input(1)
+
+    @pytest.mark.parametrize("name", WORKLOAD_ORDER)
+    def test_scale_grows_input_or_work(self, name):
+        workload = get_workload(name)
+        small = workload.primary_input(1)
+        large = workload.primary_input(4)
+        assert small != large
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", WORKLOAD_ORDER)
+    def test_compiles_and_runs_to_completion(self, name):
+        workload = get_workload(name)
+        program = workload.program()
+        result = Simulator(program, input_data=workload.primary_input(1)).run(
+            limit=2_000_000
+        )
+        assert result.stop_reason in ("halt", "exit")
+        assert result.output.strip(), "workload must report results"
+
+    @pytest.mark.parametrize("name", WORKLOAD_ORDER)
+    def test_deterministic_output(self, name):
+        workload = get_workload(name)
+        program = workload.program()
+        first = Simulator(program, input_data=workload.primary_input(1)).run()
+        second = Simulator(program, input_data=workload.primary_input(1)).run()
+        assert first.output == second.output
+        assert first.total_instructions == second.total_instructions
+
+    @pytest.mark.parametrize("name", WORKLOAD_ORDER)
+    def test_secondary_input_runs(self, name):
+        workload = get_workload(name)
+        result = Simulator(
+            workload.program(), input_data=workload.secondary_input(1)
+        ).run(limit=2_000_000)
+        assert result.stop_reason in ("halt", "exit")
+
+    @pytest.mark.parametrize("name", WORKLOAD_ORDER)
+    def test_reasonable_dynamic_size(self, name):
+        """Scale-1 runs stay in the ~50k-700k window the harness expects."""
+        workload = get_workload(name)
+        result = Simulator(workload.program(), input_data=workload.primary_input(1)).run()
+        assert 30_000 <= result.total_instructions <= 800_000
+
+    def test_program_cached(self):
+        workload = get_workload("go")
+        assert workload.program() is workload.program()
+
+
+class TestGenerators:
+    def test_lcg_deterministic(self):
+        a, b = DeterministicRandom(7), DeterministicRandom(7)
+        assert [a.next_int(100) for _ in range(20)] == [b.next_int(100) for _ in range(20)]
+
+    def test_lcg_bounds(self):
+        rng = DeterministicRandom(1)
+        assert all(0 <= rng.next_int(13) < 13 for _ in range(200))
+
+    def test_words_text_repeats_vocabulary(self):
+        text = words_text(3, 500, vocabulary_size=50).decode()
+        words = text.split()
+        assert len(words) == 500
+        assert len(set(words)) <= 50
