@@ -1,0 +1,116 @@
+"""Persistent on-disk cache for :class:`WorkloadResult` reports.
+
+One simulated run per (workload, configuration) feeds every table and
+figure, so results are worth keeping across *processes*, not just within
+one (the in-memory layer in :mod:`repro.harness.runner` only helps the
+latter).  Entries are pickled to ``<cache-dir>/<key>.pkl`` where the key
+is a SHA-256 over:
+
+* a cache format version (bumped when the pickled layout changes),
+* the workload name,
+* the full ``repr`` of the :class:`SuiteConfig` (every knob, including
+  the execution engine, participates — distinct configs cannot collide),
+* a digest of the ``repro`` source tree, so any code change invalidates
+  every stale entry automatically.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent suite
+runs — including the process-pool workers in
+:mod:`repro.harness.parallel` — can share one directory safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional
+
+#: Bump when WorkloadResult / report layouts change incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable that opts experiment runs into disk caching.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@lru_cache(maxsize=1)
+def source_digest() -> str:
+    """SHA-256 over the ``repro`` package sources (code + MiniC inputs)."""
+    root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*")):
+        if not path.is_file() or "__pycache__" in path.parts:
+            continue
+        if path.suffix == ".pyc":
+            continue
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed pickle store for workload results."""
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def key_for(self, workload_name: str, config: object) -> str:
+        payload = "\n".join(
+            (
+                str(CACHE_FORMAT_VERSION),
+                workload_name,
+                repr(config),
+                source_digest(),
+            )
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, workload_name: str, config: object) -> Path:
+        return self.directory / f"{self.key_for(workload_name, config)}.pkl"
+
+    def load(self, workload_name: str, config: object) -> Optional[object]:
+        """The cached result, or ``None`` on miss / unreadable entry."""
+        path = self.path_for(workload_name, config)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # A torn, corrupt, or stale entry is a miss, never an error —
+            # unpickling garbage can raise nearly anything (ValueError,
+            # UnpicklingError, EOFError, AttributeError, ImportError, ...).
+            return None
+
+    def store(self, workload_name: str, config: object, result: object) -> None:
+        path = self.path_for(workload_name, config)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> None:
+        """Remove every cached entry (leaves the directory in place)."""
+        for path in self.directory.glob("*.pkl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+def default_cache_dir() -> Optional[str]:
+    """Directory from ``$REPRO_CACHE_DIR``, or ``None`` (caching off)."""
+    value = os.environ.get(CACHE_DIR_ENV)
+    return value or None

@@ -15,7 +15,7 @@ import time
 from typing import List, Optional
 
 from repro.harness.experiments import EXPERIMENT_ORDER, EXPERIMENTS
-from repro.harness.runner import SuiteConfig, run_suite
+from repro.harness.runner import SuiteConfig, run_suite, set_cache_dir
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +50,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of workloads (default: all eight)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("predecoded", "interpreter"),
+        default="predecoded",
+        help="execution engine (interpreter = slow reference backend)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the suite run (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist workload results to this directory "
+        "(default: $REPRO_CACHE_DIR if set, else no persistent cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache even if configured",
+    )
+    parser.add_argument(
         "--markdown",
         metavar="FILE",
         default=None,
@@ -75,16 +98,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    if args.no_cache:
+        set_cache_dir(None)
+    elif args.cache_dir:
+        set_cache_dir(args.cache_dir)
+
     config = SuiteConfig(
         scale=args.scale,
         buffer_capacity=args.buffer_capacity,
         reuse_entries=args.reuse_entries,
         reuse_associativity=args.reuse_assoc,
         input_kind=args.input,
+        engine=args.engine,
     )
     names = args.workloads.split(",") if args.workloads else None
     started = time.time()
-    results = run_suite(config, names)
+    results = run_suite(config, names, jobs=args.jobs)
     elapsed = time.time() - started
     total = sum(r.run.analyzed_instructions for r in results.values())
     print(f"# suite: {len(results)} workloads, {total:,} instructions, {elapsed:.1f}s\n")

@@ -26,8 +26,8 @@ class Experiment:
     title: str
     builder: Callable[[Results], str]
 
-    def run(self, config: SuiteConfig = SuiteConfig()) -> str:
-        return self.builder(run_suite(config))
+    def run(self, config: SuiteConfig = SuiteConfig(), jobs: int = 1) -> str:
+        return self.builder(run_suite(config, jobs=jobs))
 
     def render(self, results: Results) -> str:
         return self.builder(results)

@@ -1,0 +1,63 @@
+"""Parallel suite execution over a process pool.
+
+Workloads are independent simulations, so a cold suite run parallelises
+trivially: each worker process runs one ``(workload, config)`` pair via
+the ordinary :func:`~repro.harness.runner.run_workload` path and ships
+the finished :class:`~repro.harness.runner.WorkloadResult` back
+(everything in it is picklable; :class:`~repro.workloads.base.Workload`
+reduces to a registry lookup).
+
+Both cache layers are honoured: the parent serves hits before spawning
+anything, workers inherit the persistent-cache directory, and finished
+results are promoted into the parent's in-memory cache so follow-up
+``run_suite`` calls in the same process are free.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, Optional
+
+from repro.harness import runner
+from repro.harness.runner import SuiteConfig, WorkloadResult
+from repro.workloads import WORKLOAD_ORDER, get_workload
+
+
+def _run_one(name: str, config: SuiteConfig, cache_dir: Optional[str]) -> WorkloadResult:
+    """Worker entry point: simulate one workload in a fresh process."""
+    if cache_dir is not None:
+        runner.set_cache_dir(cache_dir)
+    return runner.run_workload(get_workload(name), config)
+
+
+def run_suite_parallel(
+    config: SuiteConfig = SuiteConfig(),
+    names: Optional[Iterable[str]] = None,
+    jobs: int = 2,
+) -> Dict[str, WorkloadResult]:
+    """Run the suite with up to ``jobs`` worker processes."""
+    selected = tuple(names) if names is not None else WORKLOAD_ORDER
+    results: Dict[str, WorkloadResult] = {}
+    misses = []
+    for name in selected:
+        cached = runner.cached_result(get_workload(name), config)
+        if cached is not None:
+            results[name] = cached
+        else:
+            misses.append(name)
+
+    if misses:
+        cache_dir = runner.cache_directory()
+        workers = max(1, min(jobs, len(misses)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (name, pool.submit(_run_one, name, config, cache_dir))
+                for name in misses
+            ]
+            for name, future in futures:
+                result = future.result()
+                # The worker already wrote the disk entry when enabled.
+                runner.install_result(result, config, to_disk=cache_dir is None)
+                results[name] = result
+
+    return {name: results[name] for name in selected}

@@ -1,14 +1,24 @@
 """Suite runner: execute workloads under the full analysis stack.
 
 One simulated run per (workload, configuration) feeds *all* the paper's
-tables and figures, so results are cached at module level — the fifteen
-experiment reproductions and the test-suite fixtures share simulations
-instead of re-running them.
+tables and figures, so results are cached at two layers:
+
+* an in-process dict (the fifteen experiment reproductions and the
+  test-suite fixtures share simulations instead of re-running them), and
+* an optional on-disk :class:`~repro.harness.cache.ResultCache` so
+  repeated CLI / experiment invocations skip simulation altogether.
+  Enable it with :func:`set_cache_dir` or the ``REPRO_CACHE_DIR``
+  environment variable; entries self-invalidate when the source tree
+  changes (see :mod:`repro.harness.cache`).
+
+``run_suite(..., jobs=N)`` fans the suite out over a process pool
+(:mod:`repro.harness.parallel`); both cache layers are consulted before
+any worker is spawned.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.function_analysis import FunctionAnalysisReport, FunctionAnalyzer
@@ -17,7 +27,8 @@ from repro.core.local_analysis import LocalAnalysisReport, LocalAnalyzer
 from repro.core.repetition import RepetitionReport, RepetitionTracker
 from repro.core.reuse_buffer import ReuseBuffer, ReuseBufferReport
 from repro.core.value_profile import GlobalLoadValueProfiler, ValueProfileReport
-from repro.sim.simulator import RunResult, Simulator
+from repro.harness.cache import ResultCache, default_cache_dir
+from repro.sim.simulator import DEFAULT_ENGINE, RunResult, Simulator
 from repro.workloads import WORKLOAD_ORDER, Workload, get_workload
 
 
@@ -37,6 +48,8 @@ class SuiteConfig:
     limit_instructions: Optional[int] = None
     #: "primary" or "secondary" input set.
     input_kind: str = "primary"
+    #: Execution engine: "predecoded" (fast) or "interpreter" (reference).
+    engine: str = DEFAULT_ENGINE
 
     def input_for(self, workload: Workload) -> bytes:
         if self.input_kind == "primary":
@@ -63,11 +76,65 @@ class WorkloadResult:
 
 _CACHE: Dict[Tuple[str, SuiteConfig], WorkloadResult] = {}
 
+# Disk layer, resolved lazily from $REPRO_CACHE_DIR unless set explicitly.
+_DISK_CACHE: Optional[ResultCache] = None
+_DISK_RESOLVED = False
+
+
+def _disk_cache() -> Optional[ResultCache]:
+    global _DISK_CACHE, _DISK_RESOLVED
+    if not _DISK_RESOLVED:
+        _DISK_RESOLVED = True
+        directory = default_cache_dir()
+        if directory is not None:
+            _DISK_CACHE = ResultCache(directory)
+    return _DISK_CACHE
+
+
+def set_cache_dir(directory: Optional[str]) -> None:
+    """Point the persistent result cache at ``directory`` (None disables)."""
+    global _DISK_CACHE, _DISK_RESOLVED
+    _DISK_RESOLVED = True
+    _DISK_CACHE = ResultCache(directory) if directory is not None else None
+
+
+def cache_directory() -> Optional[str]:
+    """The active persistent-cache directory, or ``None`` when disabled."""
+    disk = _disk_cache()
+    return str(disk.directory) if disk is not None else None
+
+
+def cached_result(
+    workload: Workload, config: SuiteConfig
+) -> Optional[WorkloadResult]:
+    """Check both cache layers without simulating (disk hits are promoted)."""
+    key = (workload.name, config)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    disk = _disk_cache()
+    if disk is not None:
+        loaded = disk.load(workload.name, config)
+        if isinstance(loaded, WorkloadResult):
+            _CACHE[key] = loaded
+            return loaded
+    return None
+
+
+def install_result(
+    result: WorkloadResult, config: SuiteConfig, to_disk: bool = True
+) -> None:
+    """Install an externally computed result into the cache layers."""
+    _CACHE[(result.workload.name, config)] = result
+    if to_disk:
+        disk = _disk_cache()
+        if disk is not None:
+            disk.store(result.workload.name, config, result)
+
 
 def run_workload(workload: Workload, config: SuiteConfig = SuiteConfig()) -> WorkloadResult:
     """Run one workload under the full analyzer stack (cached)."""
-    key = (workload.name, config)
-    cached = _CACHE.get(key)
+    cached = cached_result(workload, config)
     if cached is not None:
         return cached
 
@@ -90,6 +157,7 @@ def run_workload(workload: Workload, config: SuiteConfig = SuiteConfig()) -> Wor
             reuse,
             value_profiler,
         ],
+        engine=config.engine,
     )
     run = simulator.run(limit=config.limit_instructions, skip=config.skip_instructions)
     result = WorkloadResult(
@@ -103,18 +171,30 @@ def run_workload(workload: Workload, config: SuiteConfig = SuiteConfig()) -> Wor
         value_profile=value_profiler.report(),
         static_program_instructions=program.static_instruction_count,
     )
-    _CACHE[key] = result
+    install_result(result, config)
     return result
 
 
 def run_suite(
-    config: SuiteConfig = SuiteConfig(), names: Optional[Iterable[str]] = None
+    config: SuiteConfig = SuiteConfig(),
+    names: Optional[Iterable[str]] = None,
+    jobs: int = 1,
 ) -> Dict[str, WorkloadResult]:
-    """Run the whole suite (or ``names``) and return results in order."""
+    """Run the whole suite (or ``names``) and return results in order.
+
+    ``jobs > 1`` fans uncached workloads out over a process pool.
+    """
     selected = tuple(names) if names is not None else WORKLOAD_ORDER
+    if jobs > 1:
+        from repro.harness.parallel import run_suite_parallel
+
+        return run_suite_parallel(config, selected, jobs=jobs)
     return {name: run_workload(get_workload(name), config) for name in selected}
 
 
 def clear_cache() -> None:
-    """Drop cached results (tests use this for isolation where needed)."""
+    """Drop cached results from both layers (tests use this for isolation)."""
     _CACHE.clear()
+    disk = _disk_cache()
+    if disk is not None:
+        disk.clear()

@@ -11,7 +11,13 @@ from repro.sim.errors import SimError
 from repro.sim.events import CallEvent, ReturnEvent, StepRecord, SyscallEvent
 from repro.sim.memory import Memory
 from repro.sim.observer import Analyzer
-from repro.sim.simulator import HALT_ADDRESS, RunResult, Simulator
+from repro.sim.simulator import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    HALT_ADDRESS,
+    RunResult,
+    Simulator,
+)
 from repro.sim.syscalls import EOF_WORD, InputStream, SyscallHandler
 from repro.sim.timing import TimingConfig, TimingModel, TimingReport
 from repro.sim.trace import Trace, TraceRecorder
@@ -19,8 +25,10 @@ from repro.sim.trace import Trace, TraceRecorder
 __all__ = [
     "Analyzer",
     "CallEvent",
+    "DEFAULT_ENGINE",
     "DebugStop",
     "Debugger",
+    "ENGINES",
     "EOF_WORD",
     "HALT_ADDRESS",
     "InputStream",

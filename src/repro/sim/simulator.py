@@ -10,6 +10,16 @@ Execution windows mirror the paper's methodology: ``run(skip=..., limit=
 ...)`` executes ``skip`` instructions delivering only structural events
 (flagged ``warmup=True``), then delivers full step records for up to
 ``limit`` instructions.
+
+Two execution engines share this interface (``engine=`` knob):
+
+* ``"predecoded"`` (default) — each static instruction is compiled once
+  into a specialized step closure (:mod:`repro.sim.predecode`); step
+  records are only materialized when an attached analyzer overrides
+  ``on_step``, and the warm-up window always runs on the record-free
+  fast path.
+* ``"interpreter"`` — the original decode-per-step reference backend,
+  kept verbatim so differential tests can lock the engines together.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from repro.isa import bits
 from repro.isa.convention import GP_VALUE, STACK_TOP
 from repro.isa.instructions import Format, Kind
 from repro.isa.registers import A0, GP, NUM_REGISTERS, RA, SP, V0
+from repro.sim import predecode
 from repro.sim.errors import SimError
 from repro.sim.events import CallEvent, ReturnEvent, StepRecord, SyscallEvent
 from repro.sim.memory import Memory
@@ -31,7 +42,16 @@ from repro.sim.syscalls import InputStream, SyscallHandler
 #: ``jr $ra`` to this address halts the machine (initial $ra value).
 HALT_ADDRESS = 0
 
+#: Supported execution engines.
+ENGINES = ("predecoded", "interpreter")
+
+#: Engine used when none is requested.
+DEFAULT_ENGINE = "predecoded"
+
 _EMPTY: Tuple[int, ...] = ()
+
+#: Stand-in bound for ``limit=None`` (avoids an is-None test per step).
+_NO_LIMIT = 1 << 62
 
 
 @dataclass
@@ -54,6 +74,20 @@ class _Frame:
     return_addr: int
 
 
+def _hooks_for(analyzers: Sequence[Analyzer], name: str) -> tuple:
+    """Bound methods of analyzers that actually override ``name``.
+
+    Analyzers that inherit the base-class no-op are skipped entirely, so
+    the per-event fan-out only touches observers that do work.
+    """
+    base = getattr(Analyzer, name)
+    return tuple(
+        getattr(analyzer, name)
+        for analyzer in analyzers
+        if getattr(type(analyzer), name) is not base
+    )
+
+
 class Simulator:
     """Executes a :class:`Program`, streaming events to analyzers."""
 
@@ -62,7 +96,10 @@ class Simulator:
         program: Program,
         input_data: bytes = b"",
         analyzers: Sequence[Analyzer] = (),
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
+        if engine not in ENGINES:
+            raise SimError(f"unknown engine {engine!r} (choose from {ENGINES})")
         self.program = program
         self.memory = Memory()
         self.memory.load_bytes(program.data_base, bytes(program.data))
@@ -76,6 +113,7 @@ class Simulator:
         self.syscalls = SyscallHandler(InputStream(input_data))
         self.call_stack: List[_Frame] = []
         self._analyzers: List[Analyzer] = list(analyzers)
+        self._engine = engine
         self._started = False
         self._paused = False
         self._pause_requested = False
@@ -83,12 +121,23 @@ class Simulator:
         self._analyzed = 0
         self._limit: Optional[int] = None
         self._skip = 0
+        # Predecoded engine state, bound lazily on first use.
+        self._fast_code: Optional[list] = None
+        self._full_code: Optional[list] = None
+        self._step_hooks: tuple = ()
+        self._call_hooks: tuple = ()
+        self._return_hooks: tuple = ()
+        self._syscall_hooks: tuple = ()
 
     def attach(self, analyzer: Analyzer) -> None:
         """Attach an analyzer before running."""
         if self._started:
             raise SimError("cannot attach analyzers after run() started")
         self._analyzers.append(analyzer)
+
+    @property
+    def engine(self) -> str:
+        return self._engine
 
     @property
     def output(self) -> str:
@@ -118,8 +167,8 @@ class Simulator:
         event = CallEvent(
             pc, target, return_addr, function, args, len(self.call_stack), self.regs[SP], warmup
         )
-        for analyzer in self._analyzers:
-            analyzer.on_call(event)
+        for hook in self._call_hooks:
+            hook(event)
 
     def _emit_return(self, pc: int, target: int, warmup: bool) -> None:
         function = None
@@ -133,8 +182,8 @@ class Simulator:
         event = ReturnEvent(
             pc, target, function, self.regs[V0], len(self.call_stack) + 1, warmup
         )
-        for analyzer in self._analyzers:
-            analyzer.on_return(event)
+        for hook in self._return_hooks:
+            hook(event)
 
     # ------------------------------------------------------------------
 
@@ -156,6 +205,10 @@ class Simulator:
         self._skip = skip
 
         program = self.program
+        self._step_hooks = _hooks_for(self._analyzers, "on_step")
+        self._call_hooks = _hooks_for(self._analyzers, "on_call")
+        self._return_hooks = _hooks_for(self._analyzers, "on_return")
+        self._syscall_hooks = _hooks_for(self._analyzers, "on_syscall")
         for analyzer in self._analyzers:
             analyzer.on_start(program)
         # Program entry is modelled as a call so the call stack is rooted.
@@ -163,15 +216,221 @@ class Simulator:
         return self._execute()
 
     def resume(self, additional_limit: Optional[int] = None) -> RunResult:
-        """Continue a paused simulation (optionally extending the limit)."""
+        """Continue a paused simulation (optionally extending the limit).
+
+        ``additional_limit`` extends the analysis window by that many
+        instructions.  If the original run had an explicit ``limit``, the
+        new limit is ``limit + additional_limit``; if it was unlimited
+        (``limit=None``), the extension anchors at the number of
+        instructions analyzed so far, i.e. the resumed run executes at
+        most ``additional_limit`` further analyzed instructions and the
+        simulation is no longer unlimited.  Without ``additional_limit``
+        the original window (limited or not) simply continues.
+        """
         if not self._paused:
             raise SimError("resume() requires a paused simulation")
         self._paused = False
         if additional_limit is not None:
-            self._limit = (self._limit or self._analyzed) + additional_limit
+            anchor = self._analyzed if self._limit is None else self._limit
+            self._limit = anchor + additional_limit
         return self._execute()
 
     def _execute(self) -> RunResult:
+        if self._engine == "interpreter":
+            return self._execute_interpreter()
+        return self._execute_predecoded()
+
+    # ------------------------------------------------------------------
+    # Predecoded engine
+    # ------------------------------------------------------------------
+
+    def _execute_predecoded(self) -> RunResult:
+        stop = None
+        if self._total < self._skip:
+            stop = self._run_fast(warmup=True)
+        if stop is None:
+            if self._step_hooks:
+                stop = self._run_full()
+            else:
+                stop = self._run_fast(warmup=False)
+        return self._finish_run(stop)
+
+    def _finish_run(self, stop_reason: str) -> RunResult:
+        if stop_reason == "paused":
+            self._paused = True
+        else:
+            for analyzer in self._analyzers:
+                analyzer.on_finish()
+        syscalls = self.syscalls
+        return RunResult(
+            analyzed_instructions=self._analyzed,
+            total_instructions=self._total,
+            stop_reason=stop_reason,
+            exit_code=syscalls.exit_code,
+            output=syscalls.output_text(),
+        )
+
+    def _run_fast(self, warmup: bool) -> Optional[str]:
+        """Record-free execution (warm-up, or no step observers).
+
+        Returns the stop reason, or ``None`` when the warm-up window
+        completed and execution should continue in analysis mode.
+        """
+        code = self._fast_code
+        if code is None:
+            code = self._fast_code = predecode.bind_fast(self)
+        program = self.program
+        text_base = program.text_base
+        text_len = len(program.text)
+        bound = self._limit if self._limit is not None else _NO_LIMIT
+        skip = self._skip
+        syscall_hooks = self._syscall_hooks
+        input_services = SyscallHandler.INPUT_SERVICES
+        output_services = SyscallHandler.OUTPUT_SERVICES
+        # The pause flag can only change inside call/return/syscall hooks
+        # (or before run()); skip the per-step check when neither applies.
+        check_pause = bool(
+            self._call_hooks or self._return_hooks or syscall_hooks
+        ) or self._pause_requested
+        ctrl_call = predecode.CTRL_CALL
+        ctrl_return = predecode.CTRL_RETURN
+
+        pc = self.pc
+        total = self._total
+        analyzed = self._analyzed
+        analyzed_start = analyzed
+        stop: Optional[str] = None
+
+        while True:
+            if pc == HALT_ADDRESS:
+                stop = "halt"
+                break
+            index = (pc - text_base) >> 2
+            if index < 0 or index >= text_len or pc & 3:
+                raise SimError("pc outside text segment", pc)
+            if analyzed >= bound:
+                stop = "limit"
+                break
+            if check_pause and self._pause_requested:
+                self._pause_requested = False
+                stop = "paused"
+                break
+            if warmup and total >= skip:
+                break  # warm-up complete; caller continues in analysis mode
+
+            r = code[index]()
+            if warmup:
+                total += 1
+            else:
+                analyzed += 1
+            if r.__class__ is int:
+                pc = r
+                continue
+
+            tag = r[1]
+            if tag is ctrl_call:
+                self._emit_call(pc, r[2], r[3], warmup)
+            elif tag is ctrl_return:
+                self._emit_return(pc, r[2], warmup)
+            else:  # syscall
+                if syscall_hooks:
+                    service = r[2]
+                    event = SyscallEvent(
+                        pc,
+                        service,
+                        r[3],
+                        r[4],
+                        service in input_services,
+                        service in output_services,
+                        warmup,
+                    )
+                    for hook in syscall_hooks:
+                        hook(event)
+                if r[5]:
+                    stop = "exit"
+                    break
+            pc = r[0]
+
+        self.pc = pc
+        self._analyzed = analyzed
+        self._total = total + (analyzed - analyzed_start)
+        return stop
+
+    def _run_full(self) -> str:
+        """Analysis-mode execution: step records delivered per retire."""
+        code = self._full_code
+        if code is None:
+            code = self._full_code = predecode.bind_full(self)
+        program = self.program
+        text_base = program.text_base
+        text_len = len(program.text)
+        bound = self._limit if self._limit is not None else _NO_LIMIT
+        step_hooks = self._step_hooks
+        syscall_hooks = self._syscall_hooks
+        input_services = SyscallHandler.INPUT_SERVICES
+        output_services = SyscallHandler.OUTPUT_SERVICES
+        ctrl_call = predecode.CTRL_CALL
+        ctrl_return = predecode.CTRL_RETURN
+
+        pc = self.pc
+        analyzed = self._analyzed
+        analyzed_start = analyzed
+        stop = "halt"
+
+        while True:
+            if pc == HALT_ADDRESS:
+                stop = "halt"
+                break
+            index = (pc - text_base) >> 2
+            if index < 0 or index >= text_len or pc & 3:
+                raise SimError("pc outside text segment", pc)
+            if analyzed >= bound:
+                stop = "limit"
+                break
+            if self._pause_requested:
+                self._pause_requested = False
+                stop = "paused"
+                break
+
+            analyzed += 1
+            record, next_pc, ctrl = code[index](analyzed)
+            for hook in step_hooks:
+                hook(record)
+            if ctrl is not None:
+                tag = ctrl[0]
+                if tag is ctrl_call:
+                    self._emit_call(pc, ctrl[1], ctrl[2], False)
+                elif tag is ctrl_return:
+                    self._emit_return(pc, ctrl[1], False)
+                else:  # syscall
+                    if syscall_hooks:
+                        service = ctrl[1]
+                        event = SyscallEvent(
+                            pc,
+                            service,
+                            ctrl[2],
+                            ctrl[3],
+                            service in input_services,
+                            service in output_services,
+                            False,
+                        )
+                        for hook in syscall_hooks:
+                            hook(event)
+                    if ctrl[4]:
+                        stop = "exit"
+                        break
+            pc = next_pc
+
+        self.pc = pc
+        self._analyzed = analyzed
+        self._total += analyzed - analyzed_start
+        return stop
+
+    # ------------------------------------------------------------------
+    # Reference interpreter (original decode-per-step backend)
+    # ------------------------------------------------------------------
+
+    def _execute_interpreter(self) -> RunResult:
         program = self.program
         limit = self._limit
         skip = self._skip
@@ -450,15 +709,4 @@ class Simulator:
         self.pc = pc
         self._total = total
         self._analyzed = analyzed
-        if stop_reason == "paused":
-            self._paused = True
-        else:
-            for analyzer in analyzers:
-                analyzer.on_finish()
-        return RunResult(
-            analyzed_instructions=analyzed,
-            total_instructions=total,
-            stop_reason=stop_reason,
-            exit_code=syscalls.exit_code,
-            output=syscalls.output_text(),
-        )
+        return self._finish_run(stop_reason)

@@ -52,6 +52,13 @@ class Workload:
     #: Expected final line(s) of output per (input kind, scale) are not
     #: fixed here; tests assert determinism by running twice instead.
 
+    def __reduce__(self):
+        # The input generators are registry lambdas, which don't pickle;
+        # reduce to a name lookup so results can cross process boundaries.
+        from repro.workloads.registry import get_workload
+
+        return (get_workload, (self.name,))
+
     def source(self) -> str:
         return _load_source(self.source_file)
 

@@ -17,6 +17,54 @@ class TestParser:
         assert args.experiments == ["table1", "fig5"]
 
 
+class TestPerfFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.engine == "predecoded"
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["table1", "--engine", "interpreter", "--jobs", "4", "--cache-dir", "/tmp/c"]
+        )
+        assert args.engine == "interpreter"
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+
+    def test_cache_dir_wired_through_main(self, capsys, tmp_path):
+        from repro.harness.runner import cache_directory, set_cache_dir
+
+        cache = tmp_path / "cache"
+        try:
+            code = main(
+                [
+                    "table2",
+                    "--workloads",
+                    "compress",
+                    "--cache-dir",
+                    str(cache),
+                ]
+            )
+            assert code == 0
+            assert cache_directory() == str(cache)
+            assert list(cache.glob("*.pkl"))
+        finally:
+            set_cache_dir(None)
+
+    def test_no_cache_overrides(self, capsys, tmp_path):
+        from repro.harness.runner import cache_directory, set_cache_dir
+
+        set_cache_dir(str(tmp_path))
+        try:
+            code = main(["table2", "--workloads", "compress", "--no-cache"])
+            assert code == 0
+            assert cache_directory() is None
+        finally:
+            set_cache_dir(None)
+
+
 class TestMain:
     def test_list(self, capsys):
         assert main(["--list"]) == 0

@@ -1,0 +1,144 @@
+"""Differential tests locking the two execution engines together.
+
+The predecoded engine is only allowed to exist because it is
+observationally identical to the reference interpreter: same
+architectural results, same output text, same analyzer event stream,
+same report numbers — on every workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import SuiteConfig, run_workload
+from repro.sim import Analyzer, SimError, Simulator
+from repro.workloads import WORKLOAD_ORDER, get_workload
+
+#: Small analysis window so the differential sweep stays quick.
+_LIMIT = 8_000
+
+
+class RecordingAnalyzer(Analyzer):
+    """Captures every event as a comparable tuple."""
+
+    def __init__(self) -> None:
+        self.events = []
+
+    def on_step(self, record) -> None:
+        self.events.append(
+            (
+                "step",
+                record.index,
+                record.pc,
+                record.instr.op.name,
+                record.inputs,
+                record.outputs,
+                record.dest_reg,
+                record.dest_value,
+                record.mem_addr,
+                record.store_value,
+            )
+        )
+
+    def on_call(self, event) -> None:
+        self.events.append(
+            ("call", event.pc, event.target, event.return_addr, event.args, event.depth, event.warmup)
+        )
+
+    def on_return(self, event) -> None:
+        self.events.append(
+            ("return", event.pc, event.target, event.return_value, event.depth, event.warmup)
+        )
+
+    def on_syscall(self, event) -> None:
+        self.events.append(
+            ("syscall", event.pc, event.service, event.arg, event.result, event.warmup)
+        )
+
+
+def _run_recorded(name: str, engine: str, limit=None, skip=0):
+    workload = get_workload(name)
+    recorder = RecordingAnalyzer()
+    simulator = Simulator(
+        workload.program(),
+        input_data=workload.primary_input(1),
+        analyzers=[recorder],
+        engine=engine,
+    )
+    run = simulator.run(limit=limit, skip=skip)
+    return run, simulator.output, recorder.events
+
+
+class TestEngineKnob:
+    def test_unknown_engine_rejected(self):
+        program = get_workload("go").program()
+        with pytest.raises(SimError):
+            Simulator(program, engine="jit")
+
+    def test_engine_property(self):
+        program = get_workload("go").program()
+        assert Simulator(program).engine == "predecoded"
+        assert Simulator(program, engine="interpreter").engine == "interpreter"
+
+
+class TestDifferentialReports:
+    """Full analyzer stack, both engines, identical reports."""
+
+    @pytest.mark.parametrize("name", WORKLOAD_ORDER)
+    def test_identical_reports(self, name):
+        workload = get_workload(name)
+        base = {"limit_instructions": _LIMIT}
+        fast = run_workload(workload, SuiteConfig(engine="predecoded", **base))
+        slow = run_workload(workload, SuiteConfig(engine="interpreter", **base))
+        assert fast.run == slow.run
+        assert fast.run.output == slow.run.output
+        assert fast.repetition == slow.repetition
+        assert fast.global_analysis == slow.global_analysis
+        assert fast.function_analysis == slow.function_analysis
+        assert fast.local_analysis == slow.local_analysis
+        assert fast.reuse == slow.reuse
+        assert fast.value_profile == slow.value_profile
+
+
+class TestDifferentialEventStream:
+    """Event-by-event identity, including warm-up windows."""
+
+    @pytest.mark.parametrize("name", ("m88ksim", "compress"))
+    def test_identical_event_stream(self, name):
+        fast = _run_recorded(name, "predecoded", limit=_LIMIT)
+        slow = _run_recorded(name, "interpreter", limit=_LIMIT)
+        assert fast[0] == slow[0]  # RunResult
+        assert fast[1] == slow[1]  # output text
+        assert fast[2] == slow[2]  # event stream
+
+    @pytest.mark.parametrize("name", ("go", "li"))
+    def test_identical_with_warmup_skip(self, name):
+        fast = _run_recorded(name, "predecoded", limit=4_000, skip=1_000)
+        slow = _run_recorded(name, "interpreter", limit=4_000, skip=1_000)
+        assert fast[0] == slow[0]
+        assert fast[1] == slow[1]
+        assert fast[2] == slow[2]
+        # The warm-up window delivers no step records under either engine.
+        warmup_steps = [e for e in fast[2] if e[0] == "step" and e[1] <= 0]
+        assert not warmup_steps
+
+    def test_run_to_completion_identical(self):
+        fast = _run_recorded("compress", "predecoded")
+        slow = _run_recorded("compress", "interpreter")
+        assert fast[0] == slow[0]
+        assert fast[0].stop_reason in ("exit", "halt")
+        assert fast[1] == slow[1]
+        assert fast[2] == slow[2]
+
+    def test_no_analyzer_run_identical(self):
+        workload = get_workload("m88ksim")
+        results = []
+        for engine in ("predecoded", "interpreter"):
+            simulator = Simulator(
+                workload.program(),
+                input_data=workload.primary_input(1),
+                engine=engine,
+            )
+            run = simulator.run(limit=_LIMIT)
+            results.append((run, simulator.output, simulator.pc, simulator.regs))
+        assert results[0] == results[1]
