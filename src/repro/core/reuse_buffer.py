@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.sim.events import StepRecord
 from repro.sim.observer import Analyzer
 
@@ -51,6 +52,10 @@ class ReuseBufferReport:
     dynamic_total: int
     reuse_hits: int
     invalidations: int
+    #: Entries displaced by capacity pressure (telemetry; not a paper number).
+    evictions: int = 0
+    #: Entries resident when the run finished (telemetry).
+    occupancy: int = 0
 
     @property
     def hit_pct(self) -> float:
@@ -81,6 +86,7 @@ class ReuseBuffer(Analyzer):
         self.dynamic_total = 0
         self.reuse_hits = 0
         self.invalidations = 0
+        self.evictions = 0
         #: Per-step flag for composition (e.g. the timing model): True iff
         #: the most recent step reused; valid for that step only.
         self.last_was_hit = False
@@ -143,13 +149,30 @@ class ReuseBuffer(Analyzer):
         if len(bucket) >= self.associativity:
             victim = bucket.pop()
             self._drop_word_link(victim)
+            self.evictions += 1
         bucket.insert(0, new_entry)
         if mem_word is not None:
             self._by_word.setdefault(mem_word, set()).add(new_entry)
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently resident across all sets."""
+        return sum(len(bucket) for bucket in self._sets)
+
+    def on_finish(self) -> None:
+        registry = obs_metrics.REGISTRY
+        if registry.enabled:
+            registry.counter("reuse.probes").inc(self.dynamic_total)
+            registry.counter("reuse.hits").inc(self.reuse_hits)
+            registry.counter("reuse.invalidations").inc(self.invalidations)
+            registry.counter("reuse.evictions").inc(self.evictions)
+            registry.gauge("reuse.occupancy").set(self.occupancy)
 
     def report(self) -> ReuseBufferReport:
         return ReuseBufferReport(
             dynamic_total=self.dynamic_total,
             reuse_hits=self.reuse_hits,
             invalidations=self.invalidations,
+            evictions=self.evictions,
+            occupancy=self.occupancy,
         )

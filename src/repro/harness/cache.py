@@ -21,6 +21,7 @@ runs — including the process-pool workers in
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -28,8 +29,14 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Optional
 
+from repro.obs import metrics as obs_metrics
+
+logger = logging.getLogger("repro.harness.cache")
+
 #: Bump when WorkloadResult / report layouts change incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: v2: WorkloadResult carries a RunManifest; ReuseBufferReport gained
+#: eviction/occupancy telemetry fields.
+CACHE_FORMAT_VERSION = 2
 
 #: Environment variable that opts experiment runs into disk caching.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -75,17 +82,40 @@ class ResultCache:
 
     def load(self, workload_name: str, config: object) -> Optional[object]:
         """The cached result, or ``None`` on miss / unreadable entry."""
+        registry = obs_metrics.REGISTRY
         path = self.path_for(workload_name, config)
         try:
             with path.open("rb") as handle:
-                return pickle.load(handle)
+                result = pickle.load(handle)
         except FileNotFoundError:
+            registry.inc("cache.disk.misses")
             return None
-        except Exception:
+        except Exception as exc:
             # A torn, corrupt, or stale entry is a miss, never an error —
             # unpickling garbage can raise nearly anything (ValueError,
             # UnpicklingError, EOFError, AttributeError, ImportError, ...).
+            # It is counted and evicted, not silently swallowed: leaving
+            # the bad file in place would re-pay the failed read forever.
+            registry.inc("cache.disk.misses")
+            registry.inc("cache.disk.corrupt")
+            logger.warning(
+                "evicting corrupt result-cache entry %s (%s: %s)",
+                path.name,
+                type(exc).__name__,
+                exc,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
+        registry.inc("cache.disk.hits")
+        if registry.enabled:
+            try:
+                registry.counter("cache.disk.bytes_read").inc(path.stat().st_size)
+            except OSError:
+                pass
+        return result
 
     def store(self, workload_name: str, config: object, result: object) -> None:
         path = self.path_for(workload_name, config)
@@ -93,7 +123,11 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                written = handle.tell()
             os.replace(tmp_name, path)
+            registry = obs_metrics.REGISTRY
+            registry.inc("cache.disk.stores")
+            registry.inc("cache.disk.bytes_written", written)
         except BaseException:
             try:
                 os.unlink(tmp_name)

@@ -5,17 +5,36 @@ Examples::
     repro-run --list
     repro-run table1 table4 --scale 1
     repro-run --all --scale 2 --input secondary
+    repro-run table1 --profile
+    repro-run --all --metrics-out metrics.json --trace-out trace.json
+
+Telemetry flags (all opt-in, see :mod:`repro.obs`):
+
+* ``--profile`` prints a per-phase / per-analyzer time table;
+* ``--metrics-out FILE`` writes the metrics snapshot plus the suite run
+  manifest as JSON;
+* ``--trace-out FILE`` writes Chrome trace-event JSON for
+  ``chrome://tracing`` / Perfetto.
+
+With any telemetry flag the experiment list may be empty — the suite
+still runs and the telemetry artifacts are written.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
+from repro.harness.cache import source_digest
 from repro.harness.experiments import EXPERIMENT_ORDER, EXPERIMENTS
 from repro.harness.runner import SuiteConfig, run_suite, set_cache_dir
+from repro.obs import manifest as obs_manifest
+from repro.obs import metrics as obs_metrics
+from repro.obs import profiling as obs_profiling
+from repro.obs import tracing as obs_tracing
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,7 +95,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown",
         metavar="FILE",
         default=None,
-        help="also write the selected experiments as a markdown report",
+        help="also write the selected experiments as a markdown report "
+        "(plus FILE.manifest.json with the run manifest)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase and per-analyzer timing after the run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the metrics registry snapshot + run manifest as JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON (chrome://tracing, Perfetto)",
     )
     return parser
 
@@ -89,8 +126,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{exp_id:8s} {exp.paper_ref:9s} {exp.title}")
         return 0
 
+    telemetry = bool(args.profile or args.metrics_out or args.trace_out)
     exp_ids = list(EXPERIMENT_ORDER) if args.all else args.experiments
-    if not exp_ids:
+    if not exp_ids and not telemetry:
         print("no experiments selected; try --list or --all", file=sys.stderr)
         return 2
     unknown = [e for e in exp_ids if e not in EXPERIMENTS]
@@ -112,22 +150,76 @@ def main(argv: Optional[List[str]] = None) -> int:
         engine=args.engine,
     )
     names = args.workloads.split(",") if args.workloads else None
-    started = time.time()
-    results = run_suite(config, names, jobs=args.jobs)
-    elapsed = time.time() - started
-    total = sum(r.run.analyzed_instructions for r in results.values())
-    print(f"# suite: {len(results)} workloads, {total:,} instructions, {elapsed:.1f}s\n")
-    for exp_id in exp_ids:
-        exp = EXPERIMENTS[exp_id]
-        print(f"== {exp.paper_ref}: {exp.title} [{exp_id}] ==")
-        print(exp.render(results))
-        print()
-    if args.markdown:
-        from repro.analysis.report import build_markdown_report
 
-        with open(args.markdown, "w") as handle:
-            handle.write(build_markdown_report(results, exp_ids))
-        print(f"# markdown report written to {args.markdown}")
+    # Telemetry is process-global and opt-in; arm it for the run and
+    # restore the previous state afterwards so embedding callers (and
+    # tests) never observe leaked counters or a stale tracer.
+    registry = obs_metrics.REGISTRY
+    armed_metrics = (args.metrics_out or args.profile) and not registry.enabled
+    if armed_metrics:
+        obs_metrics.enable()
+        registry.reset()
+    prior_tracer = obs_tracing.current_tracer()
+    tracer = prior_tracer
+    if (args.trace_out or args.profile) and tracer is None:
+        tracer = obs_tracing.SpanTracer()
+        obs_tracing.install_tracer(tracer)
+    try:
+        started = time.time()
+        results = run_suite(config, names, jobs=args.jobs, profile=args.profile)
+        elapsed = time.time() - started
+        total = sum(r.run.analyzed_instructions for r in results.values())
+        print(
+            f"# suite: {len(results)} workloads, {total:,} instructions, {elapsed:.1f}s\n"
+        )
+        for exp_id in exp_ids:
+            exp = EXPERIMENTS[exp_id]
+            print(f"== {exp.paper_ref}: {exp.title} [{exp_id}] ==")
+            print(exp.render(results))
+            print()
+
+        phase_timing = tracer.durations() if tracer is not None else {}
+        manifest = obs_manifest.build_suite_manifest(
+            config,
+            results,
+            source_digest(),
+            timing=phase_timing,
+            elapsed_seconds=elapsed,
+        )
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as handle:
+                json.dump(
+                    {"manifest": manifest, "metrics": registry.snapshot()},
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+            print(f"# metrics written to {args.metrics_out}")
+        if args.trace_out and tracer is not None:
+            tracer.write(args.trace_out)
+            print(f"# trace written to {args.trace_out}")
+        if args.profile:
+            profiles = obs_profiling.profiles_from_snapshot(registry.snapshot())
+            print("== profile ==")
+            print(obs_profiling.format_profile_table(profiles, phase_timing))
+            print()
+        if args.markdown:
+            from repro.analysis.report import build_markdown_report
+
+            with open(args.markdown, "w") as handle:
+                handle.write(build_markdown_report(results, exp_ids))
+            manifest_path = f"{args.markdown}.manifest.json"
+            obs_manifest.write_manifest(manifest, manifest_path)
+            print(
+                f"# markdown report written to {args.markdown} "
+                f"(manifest: {manifest_path})"
+            )
+    finally:
+        obs_tracing.install_tracer(prior_tracer)
+        if armed_metrics:
+            obs_metrics.disable()
+            registry.reset()
     return 0
 
 

@@ -11,29 +11,74 @@ Both cache layers are honoured: the parent serves hits before spawning
 anything, workers inherit the persistent-cache directory, and finished
 results are promoted into the parent's in-memory cache so follow-up
 ``run_suite`` calls in the same process are free.
+
+Telemetry crosses the process boundary the same way the results do:
+when the parent's metrics registry is enabled (or a tracer is
+installed), each worker collects into a fresh registry/tracer of its
+own and ships the snapshot / event list back with the result.  The
+parent merges them, adds per-worker task counts and durations
+(``parallel.worker.<pid>.*``), and splices worker trace events into its
+own tracer — so ``run_suite(jobs=N)`` reports the same aggregate
+numbers a serial run would, plus the fan-out shape.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.harness import runner
 from repro.harness.runner import SuiteConfig, WorkloadResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.workloads import WORKLOAD_ORDER, get_workload
 
 
-def _run_one(name: str, config: SuiteConfig, cache_dir: Optional[str]) -> WorkloadResult:
-    """Worker entry point: simulate one workload in a fresh process."""
+def _run_one(
+    name: str,
+    config: SuiteConfig,
+    cache_dir: Optional[str],
+    telemetry: bool,
+    trace: bool,
+    profile: bool,
+) -> Tuple[WorkloadResult, dict]:
+    """Worker entry point: simulate one workload in a fresh process.
+
+    Worker processes are reused by the pool (and inherit parent state
+    under fork), so telemetry state is re-initialized per task: the
+    registry is reset before the run and snapshotted after, making each
+    shipped snapshot exactly one task's worth of metrics.
+    """
     if cache_dir is not None:
         runner.set_cache_dir(cache_dir)
-    return runner.run_workload(get_workload(name), config)
+    if telemetry:
+        obs_metrics.enable()
+        obs_metrics.REGISTRY.reset()
+    else:
+        obs_metrics.disable()
+    tracer = obs_tracing.SpanTracer() if trace else None
+    obs_tracing.install_tracer(tracer)
+
+    started = time.perf_counter()
+    result = runner.run_workload(get_workload(name), config, profile=profile)
+    elapsed = time.perf_counter() - started
+    meta = {
+        "pid": os.getpid(),
+        "seconds": elapsed,
+        "metrics": obs_metrics.REGISTRY.snapshot() if telemetry else None,
+        "trace_events": list(tracer.events) if tracer is not None else None,
+    }
+    obs_tracing.install_tracer(None)
+    return result, meta
 
 
 def run_suite_parallel(
     config: SuiteConfig = SuiteConfig(),
     names: Optional[Iterable[str]] = None,
     jobs: int = 2,
+    profile: bool = False,
 ) -> Dict[str, WorkloadResult]:
     """Run the suite with up to ``jobs`` worker processes."""
     selected = tuple(names) if names is not None else WORKLOAD_ORDER
@@ -47,17 +92,42 @@ def run_suite_parallel(
             misses.append(name)
 
     if misses:
+        registry = obs_metrics.REGISTRY
+        telemetry = registry.enabled
+        parent_tracer = obs_tracing.current_tracer()
         cache_dir = runner.cache_directory()
         workers = max(1, min(jobs, len(misses)))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                (name, pool.submit(_run_one, name, config, cache_dir))
+                (
+                    name,
+                    pool.submit(
+                        _run_one,
+                        name,
+                        config,
+                        cache_dir,
+                        telemetry,
+                        parent_tracer is not None,
+                        profile,
+                    ),
+                )
                 for name in misses
             ]
             for name, future in futures:
-                result = future.result()
+                result, meta = future.result()
                 # The worker already wrote the disk entry when enabled.
                 runner.install_result(result, config, to_disk=cache_dir is None)
                 results[name] = result
+                if meta["metrics"] is not None:
+                    registry.merge(meta["metrics"])
+                if telemetry:
+                    pid = meta["pid"]
+                    registry.counter("parallel.tasks").inc()
+                    registry.counter(f"parallel.worker.{pid}.tasks").inc()
+                    registry.timer(f"parallel.worker.{pid}.seconds").observe(
+                        meta["seconds"]
+                    )
+                if parent_tracer is not None and meta["trace_events"]:
+                    parent_tracer.extend(meta["trace_events"])
 
     return {name: results[name] for name in selected}

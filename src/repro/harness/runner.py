@@ -18,6 +18,7 @@ any worker is spawned.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -27,7 +28,11 @@ from repro.core.local_analysis import LocalAnalysisReport, LocalAnalyzer
 from repro.core.repetition import RepetitionReport, RepetitionTracker
 from repro.core.reuse_buffer import ReuseBuffer, ReuseBufferReport
 from repro.core.value_profile import GlobalLoadValueProfiler, ValueProfileReport
-from repro.harness.cache import ResultCache, default_cache_dir
+from repro.harness.cache import ResultCache, default_cache_dir, source_digest
+from repro.obs import metrics as obs_metrics
+from repro.obs import profiling as obs_profiling
+from repro.obs import tracing as obs_tracing
+from repro.obs.manifest import RunManifest, build_workload_manifest
 from repro.sim.simulator import DEFAULT_ENGINE, RunResult, Simulator
 from repro.workloads import WORKLOAD_ORDER, Workload, get_workload
 
@@ -72,6 +77,8 @@ class WorkloadResult:
     reuse: ReuseBufferReport
     value_profile: ValueProfileReport
     static_program_instructions: int = 0
+    #: Provenance: engine, config, source digest, cache disposition, timing.
+    manifest: Optional[RunManifest] = None
 
 
 _CACHE: Dict[Tuple[str, SuiteConfig], WorkloadResult] = {}
@@ -109,13 +116,21 @@ def cached_result(
 ) -> Optional[WorkloadResult]:
     """Check both cache layers without simulating (disk hits are promoted)."""
     key = (workload.name, config)
+    registry = obs_metrics.REGISTRY
     cached = _CACHE.get(key)
     if cached is not None:
+        registry.inc("cache.hits")
+        registry.inc("cache.memory_hits")
+        if cached.manifest is not None:
+            cached.manifest.cache = "memory-hit"
         return cached
     disk = _disk_cache()
     if disk is not None:
         loaded = disk.load(workload.name, config)
         if isinstance(loaded, WorkloadResult):
+            registry.inc("cache.hits")
+            if loaded.manifest is not None:
+                loaded.manifest.cache = "disk-hit"
             _CACHE[key] = loaded
             return loaded
     return None
@@ -132,45 +147,87 @@ def install_result(
             disk.store(result.workload.name, config, result)
 
 
-def run_workload(workload: Workload, config: SuiteConfig = SuiteConfig()) -> WorkloadResult:
-    """Run one workload under the full analyzer stack (cached)."""
+def run_workload(
+    workload: Workload,
+    config: SuiteConfig = SuiteConfig(),
+    profile: bool = False,
+) -> WorkloadResult:
+    """Run one workload under the full analyzer stack (cached).
+
+    ``profile=True`` wraps every analyzer in a per-hook timing proxy
+    (:mod:`repro.obs.profiling`); the measured attribution lands in the
+    metrics registry under ``profile.<Analyzer>.<hook>``.
+    """
     cached = cached_result(workload, config)
     if cached is not None:
         return cached
 
-    program = workload.program()
+    registry = obs_metrics.REGISTRY
+    registry.inc("cache.misses")
+    started = time.perf_counter()
+    timing: Dict[str, float] = {}
+
+    with obs_tracing.span("assemble", workload=workload.name):
+        program = workload.program()
+    timing["assemble"] = time.perf_counter() - started
+
     tracker = RepetitionTracker(config.buffer_capacity)
     global_analyzer = GlobalSourceAnalyzer(tracker)
     function_analyzer = FunctionAnalyzer()
     local_analyzer = LocalAnalyzer(tracker)
     reuse = ReuseBuffer(config.reuse_entries, config.reuse_associativity)
     value_profiler = GlobalLoadValueProfiler()
+    # Tracker first: downstream analyzers read its per-step flag.
+    analyzers = [
+        tracker,
+        global_analyzer,
+        function_analyzer,
+        local_analyzer,
+        reuse,
+        value_profiler,
+    ]
+    profiles = None
+    if profile:
+        analyzers, profiles = obs_profiling.wrap_all(analyzers)
     simulator = Simulator(
         program,
         input_data=config.input_for(workload),
-        # Tracker first: downstream analyzers read its per-step flag.
-        analyzers=[
-            tracker,
-            global_analyzer,
-            function_analyzer,
-            local_analyzer,
-            reuse,
-            value_profiler,
-        ],
+        analyzers=analyzers,
         engine=config.engine,
     )
+    phase_start = time.perf_counter()
     run = simulator.run(limit=config.limit_instructions, skip=config.skip_instructions)
-    result = WorkloadResult(
-        workload=workload,
-        run=run,
-        repetition=tracker.report(),
-        global_analysis=global_analyzer.report(),
-        function_analysis=function_analyzer.report(),
-        local_analysis=local_analyzer.report(),
-        reuse=reuse.report(),
-        value_profile=value_profiler.report(),
-        static_program_instructions=program.static_instruction_count,
+    timing["simulate"] = time.perf_counter() - phase_start
+
+    def _report(analyzer):
+        with obs_tracing.span(
+            "analyzer", analyzer=type(analyzer).__name__, workload=workload.name
+        ):
+            return analyzer.report()
+
+    phase_start = time.perf_counter()
+    with obs_tracing.span("report", workload=workload.name):
+        result = WorkloadResult(
+            workload=workload,
+            run=run,
+            repetition=_report(tracker),
+            global_analysis=_report(global_analyzer),
+            function_analysis=_report(function_analyzer),
+            local_analysis=_report(local_analyzer),
+            reuse=_report(reuse),
+            value_profile=_report(value_profiler),
+            static_program_instructions=program.static_instruction_count,
+        )
+    timing["report"] = time.perf_counter() - phase_start
+    timing["total"] = time.perf_counter() - started
+
+    result.manifest = build_workload_manifest(
+        workload.name, config, source_digest(), timing
     )
+    if profiles is not None:
+        for analyzer_profile in profiles:
+            analyzer_profile.publish(registry)
+    registry.observe("suite.workload_seconds", timing["total"])
     install_result(result, config)
     return result
 
@@ -179,17 +236,23 @@ def run_suite(
     config: SuiteConfig = SuiteConfig(),
     names: Optional[Iterable[str]] = None,
     jobs: int = 1,
+    profile: bool = False,
 ) -> Dict[str, WorkloadResult]:
     """Run the whole suite (or ``names``) and return results in order.
 
-    ``jobs > 1`` fans uncached workloads out over a process pool.
+    ``jobs > 1`` fans uncached workloads out over a process pool; worker
+    metrics snapshots are merged into this process's registry, so the
+    aggregate telemetry is the same as a serial run's.
     """
     selected = tuple(names) if names is not None else WORKLOAD_ORDER
     if jobs > 1:
         from repro.harness.parallel import run_suite_parallel
 
-        return run_suite_parallel(config, selected, jobs=jobs)
-    return {name: run_workload(get_workload(name), config) for name in selected}
+        return run_suite_parallel(config, selected, jobs=jobs, profile=profile)
+    return {
+        name: run_workload(get_workload(name), config, profile=profile)
+        for name in selected
+    }
 
 
 def clear_cache() -> None:

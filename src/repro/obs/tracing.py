@@ -1,0 +1,151 @@
+"""Span tracer: nested run phases as Chrome trace-event JSON.
+
+A :class:`SpanTracer` records begin/end pairs for the phases of a run
+(assemble → warm-up → simulate → per-analyzer report) with microsecond
+timestamps from ``perf_counter_ns``.  ``chrome_trace()`` emits the
+`Chrome trace-event format`__ (``B``/``E`` duration events), so a
+``--trace-out`` file loads directly in ``chrome://tracing`` or Perfetto.
+
+__ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+Like the metrics registry, tracing is opt-in through a process-global
+slot: components call :func:`span`, which returns a real span context
+only while a tracer is installed and a shared no-op otherwise.  Spans
+are context managers, so a failing analyzer (or a simulator fault)
+still closes every open span on the way out — the emitted JSON always
+has matched B/E pairs.
+
+The parallel suite runner ships each worker's event list back to the
+parent and splices it in with :meth:`SpanTracer.extend`; worker events
+keep their own ``pid``, so a fanned-out suite renders as one process
+lane per worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from typing import Dict, List, Optional
+
+
+class SpanTracer:
+    """Records nested spans as Chrome ``B``/``E`` trace events."""
+
+    def __init__(self) -> None:
+        self._origin_ns = time.perf_counter_ns()
+        #: Chrome-format event dicts, in emission order.
+        self.events: List[dict] = []
+        self._depth = 0
+
+    # -- recording -----------------------------------------------------
+
+    def _now_us(self) -> int:
+        return (time.perf_counter_ns() - self._origin_ns) // 1000
+
+    def begin(self, name: str, **args) -> None:
+        event = {
+            "name": name,
+            "ph": "B",
+            "ts": self._now_us(),
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+        self._depth += 1
+
+    def end(self, name: str) -> None:
+        self.events.append(
+            {
+                "name": name,
+                "ph": "E",
+                "ts": self._now_us(),
+                "pid": os.getpid(),
+                "tid": threading.get_ident() & 0xFFFFFFFF,
+            }
+        )
+        self._depth -= 1
+
+    @contextmanager
+    def span(self, name: str, **args):
+        """Record ``name`` around a block; exception-safe."""
+        self.begin(name, **args)
+        try:
+            yield self
+        finally:
+            self.end(name)
+
+    def extend(self, events: List[dict]) -> None:
+        """Splice in events recorded by another tracer (e.g. a worker).
+
+        Timestamps are kept as-is: Chrome/Perfetto render each ``pid``
+        on its own lane, so cross-process clock skew only shifts lanes
+        relative to each other.
+        """
+        self.events.extend(events)
+
+    # -- summaries -----------------------------------------------------
+
+    def span_count(self, name: str) -> int:
+        """How many completed spans named ``name`` were recorded."""
+        return sum(1 for e in self.events if e["ph"] == "B" and e["name"] == name)
+
+    def durations(self) -> Dict[str, float]:
+        """Total seconds per span name (summed over all instances).
+
+        Nested spans are counted in full for both themselves and their
+        parents (wall-clock attribution, not self-time).
+        """
+        totals: Dict[str, float] = {}
+        stacks: Dict[tuple, List[dict]] = {}
+        for event in self.events:
+            key = (event["pid"], event["tid"])
+            stack = stacks.setdefault(key, [])
+            if event["ph"] == "B":
+                stack.append(event)
+            elif event["ph"] == "E" and stack:
+                begin = stack.pop()
+                totals[begin["name"]] = (
+                    totals.get(begin["name"], 0.0)
+                    + (event["ts"] - begin["ts"]) / 1e6
+                )
+        return totals
+
+    # -- serialization -------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The Chrome trace-event JSON object."""
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle, indent=1)
+            handle.write("\n")
+
+
+#: Installed tracer, or None (tracing off).
+_TRACER: Optional[SpanTracer] = None
+
+_NULL_SPAN = nullcontext()
+
+
+def install_tracer(tracer: Optional[SpanTracer]) -> None:
+    """Install ``tracer`` as the process-global tracer (None uninstalls)."""
+    global _TRACER
+    _TRACER = tracer
+
+
+def current_tracer() -> Optional[SpanTracer]:
+    return _TRACER
+
+
+def span(name: str, **args):
+    """A span context on the installed tracer, or a shared no-op."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **args)

@@ -1,0 +1,259 @@
+"""End-to-end telemetry tests: aggregation, cache accounting, CLI flags.
+
+Telemetry must be a pure observer — results are bit-identical with it
+on or off, for both engines — and ``run_suite`` must report the same
+aggregate metrics whether it ran serially, fanned out over a process
+pool, or served everything from cache.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.core.repetition import RepetitionTracker
+from repro.core.reuse_buffer import ReuseBuffer
+from repro.harness import runner
+from repro.harness.cli import main
+from repro.harness.runner import (
+    SuiteConfig,
+    run_suite,
+    run_workload,
+    set_cache_dir,
+)
+from repro.obs import metrics as obs_metrics
+from repro.sim.simulator import Simulator
+from repro.workloads import get_workload
+
+_SMALL = SuiteConfig(limit_instructions=3_000)
+_NAMES = ("compress", "go")
+
+
+@pytest.fixture
+def isolated_caches(tmp_path):
+    """Fresh memory + disk cache layers; module state restored after."""
+    saved_memory = dict(runner._CACHE)
+    runner._CACHE.clear()
+    directory = tmp_path / "result-cache"
+    set_cache_dir(str(directory))
+    try:
+        yield directory
+    finally:
+        set_cache_dir(None)
+        runner._CACHE.clear()
+        runner._CACHE.update(saved_memory)
+
+
+def _simulate(engine: str, limit: int = 2_000):
+    workload = get_workload("compress")
+    tracker = RepetitionTracker(2000)
+    reuse = ReuseBuffer()
+    simulator = Simulator(
+        workload.program(),
+        input_data=workload.primary_input(1),
+        analyzers=[tracker, reuse],
+        engine=engine,
+    )
+    run = simulator.run(limit=limit)
+    return run, tracker.report(), reuse.report()
+
+
+class TestTelemetryIsPureObserver:
+    @pytest.mark.parametrize("engine", ("predecoded", "interpreter"))
+    def test_results_identical_with_telemetry_on_and_off(self, engine, tracer):
+        obs_metrics.disable()
+        baseline = _simulate(engine)
+        obs_metrics.enable()
+        obs_metrics.REGISTRY.reset()
+        try:
+            telemetered = _simulate(engine)
+        finally:
+            obs_metrics.disable()
+            obs_metrics.REGISTRY.reset()
+        base_run, tele_run = baseline[0], telemetered[0]
+        assert base_run.analyzed_instructions == tele_run.analyzed_instructions
+        assert base_run.total_instructions == tele_run.total_instructions
+        assert base_run.stop_reason == tele_run.stop_reason
+        assert base_run.exit_code == tele_run.exit_code
+        assert base_run.output == tele_run.output
+        assert baseline[1] == telemetered[1]  # repetition report
+        assert baseline[2] == telemetered[2]  # reuse report
+
+    @pytest.mark.parametrize("engine", ("predecoded", "interpreter"))
+    def test_sim_counters_match_the_run(self, engine, metrics_enabled):
+        run, _, reuse_report = _simulate(engine)
+        assert metrics_enabled.value("sim.instructions.total") == run.total_instructions
+        assert metrics_enabled.value("sim.runs") == 1
+        # Every instruction the reuse buffer saw was counted by the sim.
+        assert (
+            metrics_enabled.value("sim.branches")
+            + metrics_enabled.value("sim.memory_ops")
+            <= reuse_report.dynamic_total
+        )
+        assert metrics_enabled.value("sim.branches") > 0
+        assert metrics_enabled.value("sim.memory_ops") > 0
+
+    def test_engines_count_kinds_identically(self, metrics_enabled):
+        _simulate("predecoded")
+        predecoded = metrics_enabled.snapshot()["counters"]
+        metrics_enabled.reset()
+        _simulate("interpreter")
+        interpreter = metrics_enabled.snapshot()["counters"]
+        # Zero-valued counters are never published; default them to 0.
+        for name in ("sim.branches", "sim.memory_ops", "sim.syscalls", "sim.calls"):
+            assert predecoded.get(name, 0) == interpreter.get(name, 0), name
+        assert predecoded.get("sim.branches", 0) > 0
+
+
+class TestSuiteAggregation:
+    def test_serial_suite_metrics(self, isolated_caches, metrics_enabled, tracer):
+        results = run_suite(_SMALL, _NAMES)
+        counters = metrics_enabled.snapshot()["counters"]
+        assert counters["cache.misses"] == len(_NAMES)
+        assert counters["sim.runs"] == len(_NAMES)
+        assert counters["sim.instructions.total"] == sum(
+            r.run.total_instructions for r in results.values()
+        )
+        assert metrics_enabled.timer("suite.workload_seconds").count == len(_NAMES)
+        assert tracer.span_count("simulate") == len(_NAMES)
+        assert tracer.span_count("assemble") == len(_NAMES)
+
+    def test_parallel_suite_aggregates_like_serial(
+        self, isolated_caches, metrics_enabled, tracer
+    ):
+        results = run_suite(_SMALL, _NAMES, jobs=2)
+        counters = metrics_enabled.snapshot()["counters"]
+        assert counters["parallel.tasks"] == len(_NAMES)
+        worker_tasks = [
+            value
+            for name, value in counters.items()
+            if name.startswith("parallel.worker.") and name.endswith(".tasks")
+        ]
+        assert sum(worker_tasks) == len(_NAMES)
+        assert counters["sim.runs"] == len(_NAMES)
+        assert counters["sim.instructions.total"] == sum(
+            r.run.total_instructions for r in results.values()
+        )
+        # Worker trace events were spliced into the parent tracer.
+        assert tracer.span_count("simulate") == len(_NAMES)
+
+    def test_warm_cached_suite_reports_only_hits(self, isolated_caches):
+        run_suite(_SMALL, _NAMES)  # populate both cache layers, telemetry off
+        obs_metrics.enable()
+        obs_metrics.REGISTRY.reset()
+        from repro.obs import tracing as obs_tracing
+
+        warm_tracer = obs_tracing.SpanTracer()
+        obs_tracing.install_tracer(warm_tracer)
+        try:
+            results = run_suite(_SMALL, _NAMES)
+            counters = obs_metrics.REGISTRY.snapshot()["counters"]
+        finally:
+            obs_tracing.install_tracer(None)
+            obs_metrics.disable()
+            obs_metrics.REGISTRY.reset()
+        assert counters["cache.hits"] == len(_NAMES)
+        assert "cache.misses" not in counters
+        assert warm_tracer.span_count("simulate") == 0
+        for result in results.values():
+            assert result.manifest.cache == "memory-hit"
+
+    def test_profile_publishes_per_analyzer_timers(
+        self, isolated_caches, metrics_enabled
+    ):
+        run_workload(get_workload("compress"), _SMALL, profile=True)
+        timers = metrics_enabled.snapshot()["timers"]
+        step_timers = {k: v for k, v in timers.items() if k.endswith(".on_step")}
+        assert "profile.RepetitionTracker.on_step" in step_timers
+        steps = step_timers["profile.RepetitionTracker.on_step"]["count"]
+        assert steps == _SMALL.limit_instructions
+
+    def test_manifest_attached_to_computed_result(self, isolated_caches):
+        result = run_workload(get_workload("compress"), _SMALL)
+        manifest = result.manifest
+        assert manifest is not None
+        assert manifest.workload == "compress"
+        assert manifest.engine == _SMALL.engine
+        assert manifest.cache == "computed"
+        assert set(manifest.timing) == {"assemble", "simulate", "report", "total"}
+
+
+class TestCorruptCacheEntries:
+    def test_corrupt_entry_is_counted_warned_and_evicted(
+        self, isolated_caches, metrics_enabled, caplog
+    ):
+        workload = get_workload("compress")
+        run_workload(workload, _SMALL)
+        disk = runner._disk_cache()
+        path = disk.path_for(workload.name, _SMALL)
+        assert path.exists()
+        path.write_bytes(b"not a pickle")
+        runner._CACHE.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+            assert disk.load(workload.name, _SMALL) is None
+        assert metrics_enabled.value("cache.disk.corrupt") == 1
+        assert not path.exists()  # evicted, not left to fail forever
+        assert any(
+            "corrupt result-cache entry" in record.message for record in caplog.records
+        )
+
+
+class TestCliTelemetryFlags:
+    def test_flags_parse(self):
+        from repro.harness.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--profile", "--metrics-out", "m.json", "--trace-out", "t.json"]
+        )
+        assert args.profile
+        assert args.metrics_out == "m.json"
+        assert args.trace_out == "t.json"
+
+    def test_telemetry_only_run_allows_empty_experiments(
+        self, isolated_caches, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "--workloads",
+                "compress",
+                "--metrics-out",
+                str(metrics_path),
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["metrics"]["counters"]["sim.runs"] == 1
+        assert metrics["manifest"]["kind"] == "suite"
+        trace = json.loads(trace_path.read_text())
+        begins = [e for e in trace["traceEvents"] if e["ph"] == "B"]
+        ends = [e for e in trace["traceEvents"] if e["ph"] == "E"]
+        assert len(begins) == len(ends) > 0
+        # Global state was restored on the way out.
+        assert not obs_metrics.REGISTRY.enabled
+        from repro.obs import tracing as obs_tracing
+
+        assert obs_tracing.current_tracer() is None
+
+    def test_profile_prints_table(self, isolated_caches, capsys):
+        code = main(["table2", "--workloads", "compress", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== profile ==" in out
+        assert "RepetitionTracker" in out
+        assert "on_step" in out
+
+    def test_markdown_gets_sidecar_manifest(self, isolated_caches, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        code = main(["table2", "--workloads", "compress", "--markdown", str(report)])
+        assert code == 0
+        sidecar = tmp_path / "report.md.manifest.json"
+        assert report.exists() and sidecar.exists()
+        manifest = json.loads(sidecar.read_text())
+        assert manifest["kind"] == "suite"
+        assert "compress" in manifest["workloads"]

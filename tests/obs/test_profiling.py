@@ -1,0 +1,120 @@
+"""Analyzer-profiling proxy tests.
+
+The critical property is fast-path preservation: the simulator decides
+per hook whether an analyzer participates by inspecting its *type*
+(``_hooks_for``), so a profiling proxy must override exactly the hooks
+its inner analyzer overrides — no more, no less.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import (
+    HOOKS,
+    format_profile_table,
+    profiles_from_snapshot,
+    wrap_all,
+    wrap_profiled,
+)
+from repro.sim.observer import Analyzer
+from repro.sim.simulator import _hooks_for
+
+
+class StepOnly(Analyzer):
+    def __init__(self):
+        self.steps = 0
+
+    def on_step(self, record):
+        self.steps += 1
+
+
+class CallsOnly(Analyzer):
+    def __init__(self):
+        self.calls = 0
+
+    def on_call(self, event):
+        self.calls += 1
+
+
+class Failing(Analyzer):
+    def on_step(self, record):
+        raise ValueError("analyzer exploded")
+
+
+class TestProxyShape:
+    def test_proxy_overrides_exactly_the_inner_hooks(self):
+        proxy, _ = wrap_profiled(StepOnly())
+        cls = type(proxy)
+        assert getattr(cls, "on_step") is not getattr(Analyzer, "on_step")
+        for hook in HOOKS:
+            if hook == "on_step":
+                continue
+            assert getattr(cls, hook) is getattr(Analyzer, hook)
+
+    def test_hooks_for_sees_proxy_like_the_inner_analyzer(self):
+        inner = CallsOnly()
+        proxy, _ = wrap_profiled(inner)
+        for hook in HOOKS:
+            assert bool(_hooks_for([proxy], hook)) == bool(_hooks_for([inner], hook))
+
+    def test_proxy_classes_are_cached_per_hook_set(self):
+        a, _ = wrap_profiled(StepOnly())
+        b, _ = wrap_profiled(StepOnly())
+        c, _ = wrap_profiled(CallsOnly())
+        assert type(a) is type(b)
+        assert type(a) is not type(c)
+
+
+class TestProfileCollection:
+    def test_calls_forward_and_are_counted(self):
+        inner = StepOnly()
+        proxy, profile = wrap_profiled(inner)
+        for _ in range(5):
+            proxy.on_step(object())
+        assert inner.steps == 5
+        assert profile.calls == {"on_step": 5}
+        assert profile.seconds["on_step"] >= 0.0
+        assert profile.total_calls == 5
+
+    def test_exception_propagates_but_is_still_timed(self):
+        proxy, profile = wrap_profiled(Failing())
+        with pytest.raises(ValueError):
+            proxy.on_step(object())
+        assert profile.calls == {"on_step": 1}
+
+    def test_wrap_all_pairs_up(self):
+        analyzers = [StepOnly(), CallsOnly()]
+        proxies, profiles = wrap_all(analyzers)
+        assert len(proxies) == len(profiles) == 2
+        assert [p.name for p in profiles] == ["StepOnly", "CallsOnly"]
+
+
+class TestPublishRoundTrip:
+    def test_publish_then_rebuild_from_snapshot(self):
+        proxy, profile = wrap_profiled(StepOnly())
+        for _ in range(3):
+            proxy.on_step(object())
+        registry = MetricsRegistry(enabled=True)
+        profile.publish(registry)
+        rebuilt = profiles_from_snapshot(registry.snapshot())
+        assert len(rebuilt) == 1
+        assert rebuilt[0].name == "StepOnly"
+        assert rebuilt[0].calls == {"on_step": 3}
+        assert rebuilt[0].total_seconds == pytest.approx(profile.total_seconds)
+
+    def test_non_profile_timers_are_ignored(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.observe("suite.workload_seconds", 1.0)
+        assert profiles_from_snapshot(registry.snapshot()) == []
+
+
+class TestTable:
+    def test_table_renders_phases_and_totals(self):
+        proxy, profile = wrap_profiled(StepOnly())
+        proxy.on_step(object())
+        text = format_profile_table([profile], {"simulate": 1.25})
+        assert "simulate" in text
+        assert "StepOnly" in text
+        assert "TOTAL" in text
