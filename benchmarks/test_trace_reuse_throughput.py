@@ -1,0 +1,127 @@
+"""Trace memoization benchmarks: fast-path overhead and geometry ablation.
+
+Two jobs here:
+
+* The baseline/fast-path pair keeps the execution fast path honest on an
+  analyzer-off run — wrappers, probes, and record-building must stay
+  within the CI overhead budget (``trace_fastpath_overhead_pct`` in
+  ``BENCH_trace_reuse.json``, gated at 5%).  The fast-path round uses a
+  pre-warmed shared :class:`TraceReuseState`, so it measures steady-state
+  replay (plus banned-anchor unwrapping), not cold-table training.
+* The geometry sweep extends Table 10T the way
+  ``test_ablation_reuse_geometry.py`` extends Table 10; results land in
+  ``benchmarks/results/ablation_trace_geometry.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.sim import Simulator
+from repro.traces import TraceReuseAnalyzer, TraceReuseConfig, TraceReuseState
+from repro.workloads import get_workload
+
+from _bench_utils import RESULTS_DIR, simulate_with
+
+#: Same round size as test_simulator_throughput.py, for comparability.
+BENCH_LIMIT = 25_000
+
+
+def _simulate(trace_reuse=None, engine="predecoded", limit=BENCH_LIMIT):
+    workload = get_workload("m88ksim")
+    simulator = Simulator(
+        workload.program(),
+        input_data=workload.primary_input(4),
+        engine=engine,
+        trace_reuse=trace_reuse,
+    )
+    simulator.run(limit=limit)
+    return simulator
+
+
+def _warm_state() -> TraceReuseState:
+    """A shared state trained by one full round (tables warm, bans settled)."""
+    state = TraceReuseState(TraceReuseConfig())
+    _simulate(trace_reuse=state)
+    return state
+
+
+def test_trace_baseline_throughput(benchmark):
+    """Analyzer-off run without the trace fast path (the overhead denominator)."""
+    benchmark(_simulate)
+
+
+def test_trace_fastpath_throughput(benchmark):
+    """Analyzer-off run replaying from a pre-warmed shared trace table."""
+    state = _warm_state()
+    simulator = benchmark(_simulate, state)
+    assert simulator._trace_engine.hits > 0
+
+
+def test_trace_fastpath_interpreter_throughput(benchmark):
+    state = TraceReuseState(TraceReuseConfig())
+    _simulate(trace_reuse=state, engine="interpreter")
+    benchmark(_simulate, state, "interpreter")
+
+
+def test_trace_analyzer_throughput(benchmark):
+    """The Table 10T measurement pass (shadow state + table maintenance)."""
+    benchmark(simulate_with, lambda: [TraceReuseAnalyzer()], "m88ksim", BENCH_LIMIT)
+
+
+# ---------------------------------------------------------------------------
+# Geometry ablation (extends Table 10T)
+# ---------------------------------------------------------------------------
+
+TRACE_GEOMETRIES = [
+    (256, 4, 16),
+    (1024, 4, 8),
+    (1024, 4, 16),  # the Table 10T default
+    (1024, 8, 16),
+    (4096, 4, 16),
+]
+
+_rows = {}
+
+
+def _run_geometry(capacity: int, ways: int, max_len: int):
+    (analyzer,) = simulate_with(
+        lambda: [TraceReuseAnalyzer(capacity, ways, max_len)], "gcc", limit=BENCH_LIMIT
+    )
+    return analyzer.report()
+
+
+@pytest.mark.parametrize("capacity,ways,max_len", TRACE_GEOMETRIES)
+def test_trace_geometry(benchmark, capacity, ways, max_len):
+    report = benchmark(_run_geometry, capacity, ways, max_len)
+    _rows[(capacity, ways, max_len)] = (
+        report.coverage_pct,
+        report.hit_rate_pct,
+        report.mean_hit_length,
+    )
+    assert 0.0 <= report.coverage_pct <= 100.0
+
+
+def test_trace_geometry_artifact(benchmark):
+    rows = [
+        (f"{capacity}x{ways}/L{max_len}", coverage, hit_rate, mean_len)
+        for (capacity, ways, max_len), (coverage, hit_rate, mean_len) in sorted(
+            _rows.items()
+        )
+    ]
+    table = benchmark(
+        format_table, ("Geometry", "Coverage %", "Hit rate %", "Mean len"), rows
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_trace_geometry.txt").write_text(
+        "== Ablation: trace reuse table geometry (gcc workload) ==\n" + table + "\n"
+    )
+    print("\n" + table)
+    # Growing capacity at fixed ways/length never reduces coverage.
+    series = [
+        coverage
+        for (capacity, ways, max_len), (coverage, _, _) in sorted(_rows.items())
+        if ways == 4 and max_len == 16
+    ]
+    assert series == sorted(series)

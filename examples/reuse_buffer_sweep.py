@@ -4,7 +4,9 @@ The paper evaluates one reuse-buffer configuration (8K entries, 4-way)
 and observes that "there is still room for improvement".  This example
 sweeps buffer geometry over a chosen workload and reports how much of the
 total repetition each configuration captures — the experiment a hardware
-designer would run next.
+designer would run next.  A second sweep does the same for the
+trace-level reuse table (Table 10T), varying capacity, associativity,
+and the maximum trace length.
 
 Run:  python examples/reuse_buffer_sweep.py [workload]   (default: li)
 """
@@ -13,6 +15,7 @@ import sys
 
 from repro.core import RepetitionTracker, ReuseBuffer
 from repro.sim import Simulator
+from repro.traces import TraceReuseAnalyzer
 from repro.workloads import WORKLOAD_ORDER, get_workload
 
 GEOMETRIES = [
@@ -42,6 +45,29 @@ def run_geometry(workload, entries: int, associativity: int):
     )
 
 
+#: (capacity, ways, max_trace_len) points for the trace-table sweep.
+TRACE_GEOMETRIES = [
+    (256, 4, 16),
+    (1024, 4, 8),
+    (1024, 4, 16),   # the Table 10T default
+    (1024, 8, 16),
+    (4096, 4, 16),
+    (1024, 4, 64),
+]
+
+
+def run_trace_geometry(workload, capacity: int, ways: int, max_len: int):
+    analyzer = TraceReuseAnalyzer(capacity, ways, max_len)
+    simulator = Simulator(
+        workload.program(),
+        input_data=workload.primary_input(1),
+        analyzers=[analyzer],
+    )
+    simulator.run()
+    report = analyzer.report()
+    return report.coverage_pct, report.hit_rate_pct, report.mean_hit_length
+
+
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "li"
     if name not in WORKLOAD_ORDER:
@@ -56,6 +82,14 @@ def main() -> None:
         label = f"{entries}x{associativity}"
         marker = "  <- paper" if (entries, associativity) == (8192, 4) else ""
         print(f"{label:>12}  {hit:>13.1f}%  {captured:>14.1f}%  {invalidations:>13,}{marker}")
+
+    print(f"\ntrace-table geometry sweep over '{name}' (Table 10T):\n")
+    print(f"{'geometry':>14}  {'coverage %':>10}  {'hit rate %':>10}  {'mean length':>11}")
+    for capacity, ways, max_len in TRACE_GEOMETRIES:
+        coverage, hit_rate, mean_len = run_trace_geometry(workload, capacity, ways, max_len)
+        label = f"{capacity}x{ways}/L{max_len}"
+        marker = "  <- default" if (capacity, ways, max_len) == (1024, 4, 16) else ""
+        print(f"{label:>14}  {coverage:>9.1f}%  {hit_rate:>9.1f}%  {mean_len:>11.2f}{marker}")
 
 
 if __name__ == "__main__":

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 
 def format_cell(value: object) -> str:
@@ -33,3 +33,19 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(render_row(row) for row in rendered[1:])
     return "\n".join(lines)
+
+
+#: One titled section of a multi-panel table.
+Panel = Tuple[str, Sequence[str], Sequence[Sequence[object]]]
+
+
+def format_panels(panels: Sequence[Panel]) -> str:
+    """Render titled tables stacked with blank lines between them.
+
+    The multi-section layout used by Table 3-style experiments where one
+    artifact is several views (overall / repeated / propensity) over the
+    same columns.
+    """
+    return "\n\n".join(
+        f"{title}\n{format_table(headers, rows)}" for title, headers, rows in panels
+    )

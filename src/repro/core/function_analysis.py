@@ -26,6 +26,24 @@ from repro.isa.convention import segment_of
 from repro.sim.events import CallEvent, ReturnEvent, StepRecord, SyscallEvent
 from repro.sim.observer import Analyzer
 
+#: Memory segments whose contents persist beyond a call's own frame —
+#: accesses here are the paper's §5.2 purity events.
+IMPURE_SEGMENTS = ("data", "heap")
+
+
+def classify_memory_access(address: int, is_store: bool) -> Optional[str]:
+    """Purity event for one memory access, or ``None`` if it has none.
+
+    Stores to global (data-segment) or heap memory are ``"side_effect"``
+    events; loads from them are ``"implicit_input"`` events.  Stack and
+    other accesses are invisible to the §5.2 analysis.  The trace-safety
+    filter (:mod:`repro.traces.safety`) reuses this classification for
+    its strict no-implicit-inputs mode.
+    """
+    if segment_of(address) not in IMPURE_SEGMENTS:
+        return None
+    return "side_effect" if is_store else "implicit_input"
+
 
 @dataclass
 class _FunctionStats:
@@ -175,12 +193,10 @@ class FunctionAnalyzer(Analyzer):
         address = record.mem_addr
         if address is None:
             return
-        segment = segment_of(address)
-        if segment not in ("data", "heap"):
-            return
-        if record.store_value is not None:
+        event = classify_memory_access(address, record.store_value is not None)
+        if event == "side_effect":
             self._side_effect_events += 1
-        else:
+        elif event == "implicit_input":
             self._implicit_input_events += 1
 
     def on_syscall(self, event: SyscallEvent) -> None:

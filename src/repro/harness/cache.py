@@ -36,7 +36,9 @@ logger = logging.getLogger("repro.harness.cache")
 #: Bump when WorkloadResult / report layouts change incompatibly.
 #: v2: WorkloadResult carries a RunManifest; ReuseBufferReport gained
 #: eviction/occupancy telemetry fields.
-CACHE_FORMAT_VERSION = 2
+#: v3: WorkloadResult gained the trace_reuse report (Table 10T) and
+#: SuiteConfig the trace-table geometry knobs.
+CACHE_FORMAT_VERSION = 3
 
 #: Environment variable that opts experiment runs into disk caching.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -64,6 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--reuse-entries", type=int, default=8192)
     parser.add_argument("--reuse-assoc", type=int, default=4)
     parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=1024,
+        help="trace reuse table entries (Table 10T; default 1024)",
+    )
+    parser.add_argument(
+        "--trace-ways",
+        type=int,
+        default=4,
+        help="trace reuse table associativity (default 4)",
+    )
+    parser.add_argument(
+        "--trace-max-len",
+        type=int,
+        default=16,
+        help="maximum instructions per memoized trace (default 16)",
+    )
+    parser.add_argument(
         "--workloads",
         default=None,
         help="comma-separated subset of workloads (default: all eight)",
@@ -148,6 +166,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         reuse_associativity=args.reuse_assoc,
         input_kind=args.input,
         engine=args.engine,
+        trace_capacity=args.trace_capacity,
+        trace_ways=args.trace_ways,
+        trace_max_len=args.trace_max_len,
     )
     names = args.workloads.split(",") if args.workloads else None
 

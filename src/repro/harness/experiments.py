@@ -11,10 +11,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 from repro.analysis.coverage import INSTANCE_BUCKETS, contributors_for_fraction
-from repro.analysis.tables import format_table
+from repro.analysis.tables import format_panels, format_table
 from repro.core.global_analysis import CATEGORY_ORDER as GLOBAL_CATEGORIES
 from repro.core.local_analysis import CATEGORY_ORDER as LOCAL_CATEGORIES
 from repro.harness.runner import SuiteConfig, WorkloadResult, run_suite
+from repro.traces.analyzer import LENGTH_BUCKET_LABELS
+from repro.traces.trace import CLASS_NAMES
 
 Results = Dict[str, WorkloadResult]
 
@@ -133,17 +135,16 @@ def _category_panel(
 
 def build_table3(results: Results) -> str:
     names = tuple(results)
-    sections = []
-    for panel, getter in (
-        ("Overall (% of all dynamic instructions)", lambda r, c: r.global_analysis.overall_pct(c)),
-        ("Repeated (% of repeated instructions)", lambda r, c: r.global_analysis.repeated_pct(c)),
-        ("Propensity (% of category repeated)", lambda r, c: r.global_analysis.propensity_pct(c)),
-    ):
-        table = format_table(
-            ("Category",) + names, _category_panel(results, GLOBAL_CATEGORIES, getter)
-        )
-        sections.append(f"{panel}\n{table}")
-    return "\n\n".join(sections)
+    return format_panels(
+        [
+            (title, ("Category",) + names, _category_panel(results, GLOBAL_CATEGORIES, getter))
+            for title, getter in (
+                ("Overall (% of all dynamic instructions)", lambda r, c: r.global_analysis.overall_pct(c)),
+                ("Repeated (% of repeated instructions)", lambda r, c: r.global_analysis.repeated_pct(c)),
+                ("Propensity (% of category repeated)", lambda r, c: r.global_analysis.propensity_pct(c)),
+            )
+        ]
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -258,6 +259,64 @@ def build_table10(results: Results) -> str:
     return format_table(("Benchmark", "% of all insns", "% of repeated insns"), rows)
 
 
+def build_table10t(results: Results) -> str:
+    """Trace-level reuse (Table 10T): the DTM counterpart of Table 10.
+
+    Three panels over the same runs: trace coverage next to the
+    instruction-level buffer's capture rate, the hit-trace length
+    distribution, and the Coppieters-style per-class decomposition of
+    trace-covered instructions.
+    """
+    names = tuple(results)
+    summary_rows = [
+        (
+            name,
+            result.trace_reuse.coverage_pct,
+            result.reuse.hit_pct,
+            result.trace_reuse.hit_rate_pct,
+            result.trace_reuse.mean_hit_length,
+            result.trace_reuse.traces_recorded,
+            result.trace_reuse.invalidations,
+            result.trace_reuse.occupancy,
+        )
+        for name, result in results.items()
+    ]
+    length_rows = [
+        [f"len {label}"]
+        + [result.trace_reuse.hit_length_pct(label) for result in results.values()]
+        for label in LENGTH_BUCKET_LABELS
+    ]
+    class_rows = [
+        [class_name]
+        + [result.trace_reuse.class_coverage_pct(class_name) for result in results.values()]
+        for class_name in CLASS_NAMES
+    ]
+    return format_panels(
+        [
+            (
+                "Coverage (trace reuse vs instruction-level buffer)",
+                (
+                    "Benchmark",
+                    "Trace cov %",
+                    "Insn buf %",
+                    "Hit rate %",
+                    "Mean len",
+                    "Recorded",
+                    "Invalidated",
+                    "Resident",
+                ),
+                summary_rows,
+            ),
+            ("Hit-trace length (% of hits)", ("Length",) + names, length_rows),
+            (
+                "Covered instructions by class (% of covered)",
+                ("Class",) + names,
+                class_rows,
+            ),
+        ]
+    )
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -281,6 +340,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("table9", "Table 9", "Top prologue/epilogue contributors", build_table9),
         Experiment("fig6", "Figure 6", "Global-load value specialization", build_fig6),
         Experiment("table10", "Table 10", "Reuse buffer capture", build_table10),
+        Experiment("table10t", "Table 10T", "Trace-level reuse (DTM)", build_table10t),
     )
 }
 

@@ -34,6 +34,7 @@ from repro.obs import profiling as obs_profiling
 from repro.obs import tracing as obs_tracing
 from repro.obs.manifest import RunManifest, build_workload_manifest
 from repro.sim.simulator import DEFAULT_ENGINE, RunResult, Simulator
+from repro.traces.analyzer import TraceReuseAnalyzer, TraceReuseReport
 from repro.workloads import WORKLOAD_ORDER, Workload, get_workload
 
 
@@ -55,6 +56,10 @@ class SuiteConfig:
     input_kind: str = "primary"
     #: Execution engine: "predecoded" (fast) or "interpreter" (reference).
     engine: str = DEFAULT_ENGINE
+    #: Trace reuse table geometry (analyzer-only; Table 10T).
+    trace_capacity: int = 1024
+    trace_ways: int = 4
+    trace_max_len: int = 16
 
     def input_for(self, workload: Workload) -> bytes:
         if self.input_kind == "primary":
@@ -76,6 +81,7 @@ class WorkloadResult:
     local_analysis: LocalAnalysisReport
     reuse: ReuseBufferReport
     value_profile: ValueProfileReport
+    trace_reuse: TraceReuseReport
     static_program_instructions: int = 0
     #: Provenance: engine, config, source digest, cache disposition, timing.
     manifest: Optional[RunManifest] = None
@@ -177,6 +183,9 @@ def run_workload(
     local_analyzer = LocalAnalyzer(tracker)
     reuse = ReuseBuffer(config.reuse_entries, config.reuse_associativity)
     value_profiler = GlobalLoadValueProfiler()
+    trace_analyzer = TraceReuseAnalyzer(
+        config.trace_capacity, config.trace_ways, config.trace_max_len
+    )
     # Tracker first: downstream analyzers read its per-step flag.
     analyzers = [
         tracker,
@@ -185,6 +194,7 @@ def run_workload(
         local_analyzer,
         reuse,
         value_profiler,
+        trace_analyzer,
     ]
     profiles = None
     if profile:
@@ -216,6 +226,7 @@ def run_workload(
             local_analysis=_report(local_analyzer),
             reuse=_report(reuse),
             value_profile=_report(value_profiler),
+            trace_reuse=_report(trace_analyzer),
             static_program_instructions=program.static_instruction_count,
         )
     timing["report"] = time.perf_counter() - phase_start

@@ -76,6 +76,20 @@ class TestCacheKeying:
         assert str(CACHE_FORMAT_VERSION)  # version participates in payload
         assert len(source_digest()) == 64
 
+    def test_previous_format_version_reads_as_miss(self, tmp_path, monkeypatch):
+        # An entry written under format v2 (pre trace_reuse reports) must
+        # be invisible to the current version, not an unpickling error.
+        from repro.harness import cache as cache_module
+
+        cache = ResultCache(tmp_path)
+        config = SuiteConfig()
+        monkeypatch.setattr(cache_module, "CACHE_FORMAT_VERSION", 2)
+        cache.store("go", config, {"legacy": True})
+        assert cache.load("go", config) == {"legacy": True}
+        monkeypatch.undo()
+        assert CACHE_FORMAT_VERSION == 3
+        assert cache.load("go", config) is None
+
     def test_missing_and_corrupt_entries_are_misses(self, tmp_path):
         cache = ResultCache(tmp_path)
         config = SuiteConfig()

@@ -98,6 +98,7 @@ class TestDifferentialReports:
         assert fast.local_analysis == slow.local_analysis
         assert fast.reuse == slow.reuse
         assert fast.value_profile == slow.value_profile
+        assert fast.trace_reuse == slow.trace_reuse
 
 
 class TestDifferentialEventStream:

@@ -1,0 +1,148 @@
+"""Differential tests for the trace memoization fast path.
+
+The fast path is only allowed to exist because it is invisible: with
+trace reuse enabled, both engines must finish every workload in exactly
+the architectural state they reach without it — same registers, hi/lo,
+memory image, pc, output, and RunResult — across warm-up and limit
+boundaries, cold and pre-warmed tables alike.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.sim import Simulator
+from repro.traces import TraceReuseConfig, TraceReuseState
+from repro.workloads import WORKLOAD_ORDER, get_workload
+
+_LIMIT = 8_000
+
+ENGINES = ("predecoded", "interpreter")
+
+
+def _memory_digest(memory) -> str:
+    digest = hashlib.sha256()
+    for index in sorted(memory._pages):
+        page = memory._pages[index]
+        if not any(page):
+            continue
+        digest.update(index.to_bytes(8, "little"))
+        digest.update(page)
+    return digest.hexdigest()
+
+
+def _run(name, engine, trace_reuse=None, limit=_LIMIT, skip=0, scale=1):
+    workload = get_workload(name)
+    simulator = Simulator(
+        workload.program(),
+        input_data=workload.primary_input(scale),
+        engine=engine,
+        trace_reuse=trace_reuse,
+    )
+    run = simulator.run(limit=limit, skip=skip)
+    state = (
+        run,
+        simulator.output,
+        simulator.pc,
+        tuple(simulator.regs),
+        simulator.hi,
+        simulator.lo,
+        _memory_digest(simulator.memory),
+    )
+    return state, simulator
+
+
+class TestArchitecturalIdentity:
+    """Trace-on must equal trace-off, per workload, per engine."""
+
+    @pytest.mark.parametrize("name", WORKLOAD_ORDER)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_identical_final_state(self, name, engine):
+        baseline, _ = _run(name, engine)
+        traced, _ = _run(name, engine, trace_reuse=TraceReuseConfig())
+        assert traced == baseline
+
+    @pytest.mark.parametrize("name", ("go", "li"))
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_identical_with_warmup_skip(self, name, engine):
+        baseline, _ = _run(name, engine, limit=4_000, skip=1_000)
+        traced, _ = _run(name, engine, trace_reuse=TraceReuseConfig(), limit=4_000, skip=1_000)
+        assert traced == baseline
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_run_to_completion_identical(self, engine):
+        baseline, _ = _run("compress", engine, limit=None)
+        traced, _ = _run("compress", engine, trace_reuse=TraceReuseConfig(), limit=None)
+        assert traced == baseline
+        assert traced[0].stop_reason in ("exit", "halt")
+
+
+class TestWindowBoundaries:
+    """Replay must never overshoot a warm-up or limit boundary."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("limit", (1, 7, 100, 1_000))
+    @pytest.mark.parametrize("skip", (0, 1, 13))
+    def test_exact_instruction_windows(self, engine, limit, skip):
+        baseline, _ = _run("m88ksim", engine, limit=limit, skip=skip)
+        traced, _ = _run(
+            "m88ksim", engine, trace_reuse=TraceReuseConfig(), limit=limit, skip=skip
+        )
+        assert traced == baseline
+        assert traced[0].analyzed_instructions == baseline[0].analyzed_instructions
+
+
+class TestSharedState:
+    """A table pre-warmed by one run replays in the next, still exactly."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_warm_table_hits_and_stays_identical(self, engine):
+        baseline, _ = _run("go", engine)
+        state = TraceReuseState()
+        _run("go", engine, trace_reuse=state)
+        warm, warm_sim = _run("go", engine, trace_reuse=state)
+        assert warm == baseline
+        assert warm_sim._trace_engine.hits > 0
+        assert warm_sim._trace_engine.replayed_instructions > 0
+
+    def test_engines_share_statistics(self):
+        """Both engines drive the same anchors to the same decisions."""
+        stats = []
+        for engine in ENGINES:
+            # A window long enough for the cold table to start paying off.
+            _, simulator = _run(
+                "go", engine, trace_reuse=TraceReuseConfig(), limit=20_000
+            )
+            trace_engine = simulator._trace_engine
+            stats.append(
+                (
+                    trace_engine.hits,
+                    trace_engine.replayed_instructions,
+                    trace_engine.recordings,
+                    trace_engine.installs,
+                    dict(trace_engine.rejections),
+                    trace_engine.bans,
+                )
+            )
+        assert stats[0] == stats[1]
+        assert stats[0][0] > 0  # the fast path actually fired
+
+
+class TestMetrics:
+    def test_exec_metrics_published(self, metrics_enabled):
+        _, simulator = _run("go", "predecoded", trace_reuse=TraceReuseConfig())
+        trace_engine = simulator._trace_engine
+        assert metrics_enabled.value("trace.exec.hits") == trace_engine.hits
+        assert (
+            metrics_enabled.value("trace.exec.replayed_instructions")
+            == trace_engine.replayed_instructions
+        )
+        assert metrics_enabled.value("trace.exec.recordings") == trace_engine.recordings
+        assert metrics_enabled.value("trace.exec.installs") == trace_engine.installs
+
+    def test_no_trace_reuse_no_trace_metrics(self, metrics_enabled):
+        _run("go", "predecoded")
+        assert metrics_enabled.value("trace.exec.hits") == 0
+        assert metrics_enabled.value("trace.exec.recordings") == 0

@@ -1,0 +1,206 @@
+"""Tests for the analyzer-only trace reuse characterization."""
+
+from __future__ import annotations
+
+from repro.isa.convention import DATA_BASE, TEXT_BASE
+from repro.traces.analyzer import TraceReuseAnalyzer, length_bucket
+from repro.traces.builder import REASON_SYSCALL, REASON_TOO_SHORT
+
+from tests.helpers import make_step
+
+PC = TEXT_BASE
+
+
+def alu(pc, rd=8, rs=9, rt=10, a=5, b=7):
+    total = (a + b) & 0xFFFFFFFF
+    return make_step(pc=pc, op="addu", inputs=(a, b), outputs=(total,),
+                     dest_reg=rd, dest_value=total, rd=rd, rs=rs, rt=rt)
+
+
+def branch(pc, taken=False, target=None, rs=9, rt=10, a=5, b=7):
+    return make_step(
+        pc=pc, op="beq", inputs=(a, b), outputs=(1,) if taken else (0,),
+        rs=rs, rt=rt, target=target if target is not None else pc + 32,
+    )
+
+
+def load(pc, addr, value, rt=8, rs=9, base=0):
+    return make_step(pc=pc, op="lw", inputs=(addr - base,), outputs=(value,),
+                     dest_reg=rt, dest_value=value, mem_addr=addr, rt=rt, rs=rs)
+
+
+def store(pc, addr, value, rt=8, rs=9):
+    return make_step(pc=pc, op="sw", inputs=(value, addr), outputs=(),
+                     mem_addr=addr, store_value=value, rt=rt, rs=rs)
+
+
+def region(base=PC):
+    """A 3-instruction region: two ALU ops then an untaken branch."""
+    return [
+        alu(base, rd=8, rs=9, rt=10, a=5, b=7),
+        alu(base + 4, rd=11, rs=8, rt=9, a=12, b=5),
+        branch(base + 8, taken=False, rs=11, rt=10, a=17, b=7),
+    ]
+
+
+def feed(analyzer, records):
+    for record in records:
+        analyzer.on_step(record)
+
+
+class TestLengthBucket:
+    def test_buckets(self):
+        assert length_bucket(1) == "1"
+        assert length_bucket(3) == "3"
+        assert length_bucket(5) == "4-7"
+        assert length_bucket(15) == "8-15"
+        assert length_bucket(16) == "16+"
+        assert length_bucket(100) == "16+"
+
+
+class TestAccounting:
+    def test_repeated_region_hits_exactly_once(self):
+        analyzer = TraceReuseAnalyzer()
+        feed(analyzer, region())
+        feed(analyzer, region())
+        report = analyzer.report()
+        assert report.dynamic_total == 6
+        assert report.probes == 2
+        assert report.misses == 1
+        assert report.hits == 1
+        assert report.covered_instructions == 3
+        assert report.traces_recorded == 1
+        assert report.coverage_pct == 50.0
+        assert report.hit_rate_pct == 50.0
+        assert report.mean_hit_length == 3.0
+        assert report.hit_length_hist["3"] == 1
+        assert report.hit_length_pct("3") == 100.0
+        # Two ALU + one branch instruction covered.
+        assert report.class_coverage_pct("alu") == 100.0 * 2 / 3
+        assert report.class_coverage_pct("branch") == 100.0 * 1 / 3
+
+    def test_changed_live_in_misses(self):
+        analyzer = TraceReuseAnalyzer()
+        feed(analyzer, region())
+        # An intervening region rewrites live-in r9, so revisiting the
+        # same pcs must miss even though the trace is resident.
+        feed(analyzer, [
+            alu(PC + 0x100, rd=9, rs=4, rt=5, a=4, b=2),
+            branch(PC + 0x104, taken=True, target=PC, rs=9, rt=5, a=6, b=2),
+        ])
+        feed(analyzer, [
+            alu(PC, rd=8, rs=9, rt=10, a=6, b=7),
+            alu(PC + 4, rd=11, rs=8, rt=9, a=13, b=6),
+            branch(PC + 8, taken=False, rs=11, rt=10, a=19, b=7),
+        ])
+        report = analyzer.report()
+        assert report.hits == 0
+        assert report.misses == 3
+        assert report.traces_recorded == 3
+
+    def test_unknown_shadow_value_conservatively_misses(self):
+        analyzer = TraceReuseAnalyzer()
+        # Install a trace whose live-in r20 the shadow will forget about
+        # after a fresh analyzer starts.
+        feed(analyzer, [
+            alu(PC, rd=8, rs=20, rt=21, a=1, b=2),
+            branch(PC + 4, rs=8, rt=21, a=3, b=2),
+        ])
+        fresh = TraceReuseAnalyzer()
+        fresh.table = analyzer.table
+        feed(fresh, [branch(PC + 100, rs=22, rt=23, a=0, b=0)])
+        # Probe at PC with unknown r20 must miss even though the trace is
+        # resident with r20=1 recorded.
+        fresh.on_step(alu(PC, rd=8, rs=20, rt=21, a=1, b=2))
+        assert fresh.hits == 0
+
+
+class TestBoundaries:
+    def test_syscall_cuts_region_before_itself(self):
+        analyzer = TraceReuseAnalyzer()
+        records = [
+            alu(PC), alu(PC + 4),
+            make_step(pc=PC + 8, op="syscall", inputs=(1, 42)),
+        ]
+        feed(analyzer, records)
+        feed(analyzer, records)
+        report = analyzer.report()
+        # The 2-alu prefix is recorded and later hit; the syscall itself
+        # is neither probed nor part of any trace.
+        assert report.traces_recorded == 1
+        assert report.hits == 1
+        assert report.covered_instructions == 2
+        assert report.rejections == {}
+
+    def test_lone_syscall_region_records_nothing(self):
+        analyzer = TraceReuseAnalyzer()
+        feed(analyzer, [
+            branch(PC, taken=False),
+            make_step(pc=PC + 4, op="syscall", inputs=(1, 42)),
+            branch(PC + 8, taken=False),
+        ])
+        report = analyzer.report()
+        assert report.probes == 2  # the two branches; not the syscall
+        assert REASON_SYSCALL not in report.rejections
+
+    def test_single_instruction_region_rejected_too_short(self):
+        analyzer = TraceReuseAnalyzer()
+        feed(analyzer, [branch(PC, taken=False)])
+        assert analyzer.report().rejections == {REASON_TOO_SHORT: 1}
+
+    def test_max_len_splits_region(self):
+        analyzer = TraceReuseAnalyzer(max_trace_len=4)
+        records = [alu(PC + 4 * i, rd=8, rs=0, rt=0, a=0, b=0) for i in range(10)]
+        records.append(branch(PC + 40, taken=True, target=PC, rs=0, rt=0, a=0, b=0))
+        feed(analyzer, records)
+        feed(analyzer, records)
+        report = analyzer.report()
+        # 11 straight-line steps split into 4+4+3; the second pass hits
+        # all three pieces.
+        assert report.traces_recorded == 3
+        assert report.hits == 3
+        assert report.covered_instructions == 11
+
+
+class TestInvalidation:
+    def test_store_invalidates_memory_dependent_trace(self):
+        analyzer = TraceReuseAnalyzer()
+        loads = [
+            load(PC, DATA_BASE, 7),
+            branch(PC + 4, rs=8, rt=10, a=7, b=9),
+        ]
+        feed(analyzer, loads)
+        feed(analyzer, loads)
+        assert analyzer.hits == 1
+        # A store to the live-in word evicts the trace; the next visit
+        # must miss and re-record.  The store's own region ends with a
+        # branch over registers the load region does not read.
+        feed(analyzer, [
+            store(PC + 36, DATA_BASE, 99, rt=11, rs=12),
+            branch(PC + 40, rs=12, rt=13, a=0, b=1),
+        ])
+        feed(analyzer, loads)
+        report = analyzer.report()
+        assert report.invalidations == 1
+        assert report.hits == 1
+        assert report.misses == 3
+        assert report.probes == 4
+
+
+class TestMetrics:
+    def test_on_finish_publishes_counters(self, metrics_enabled):
+        analyzer = TraceReuseAnalyzer()
+        feed(analyzer, region())
+        feed(analyzer, region())
+        analyzer.on_finish()
+        assert metrics_enabled.value("trace.probes") == 2
+        assert metrics_enabled.value("trace.hits") == 1
+        assert metrics_enabled.value("trace.covered_instructions") == 3
+        assert metrics_enabled.value("trace.recorded") == 1
+        assert metrics_enabled.value("trace.rejected") == 0
+        assert metrics_enabled.snapshot()["gauges"]["trace.occupancy"] == 1
+
+    def test_disabled_registry_stays_silent(self):
+        analyzer = TraceReuseAnalyzer()
+        feed(analyzer, region())
+        analyzer.on_finish()  # must not raise, must not record

@@ -1,0 +1,70 @@
+"""Tests for the trace safety filter."""
+
+from __future__ import annotations
+
+from repro.isa.convention import DATA_BASE, STACK_TOP, TEXT_BASE
+from repro.traces.builder import (
+    REASON_IMPLICIT_INPUT,
+    REASON_SYSCALL,
+    REASON_TOO_LONG,
+    REASON_TOO_SHORT,
+    TraceBuilder,
+)
+from repro.traces.safety import SafetyPolicy, check_candidate
+
+from tests.helpers import make_step
+
+PC = TEXT_BASE
+
+
+def _alu(pc):
+    return make_step(pc=pc, op="addu", inputs=(1, 2), outputs=(3,),
+                     dest_reg=8, dest_value=3, rd=8, rs=9, rt=10)
+
+
+def _load(pc, addr):
+    return make_step(pc=pc, op="lw", inputs=(addr,), outputs=(7,),
+                     dest_reg=8, dest_value=7, mem_addr=addr, rt=8, rs=9)
+
+
+def _fed(records, max_len=16):
+    builder = TraceBuilder(records[0].pc, max_len=max_len)
+    for record in records:
+        builder.feed(record)
+    return builder
+
+
+class TestCheckCandidate:
+    def test_clean_candidate_passes(self):
+        builder = _fed([_alu(PC), _alu(PC + 4)])
+        assert check_candidate(builder) is None
+
+    def test_unsafe_marker_wins_over_length(self):
+        # A single syscall is both unsafe and too short; the structural
+        # violation is the reported reason.
+        builder = _fed([make_step(pc=PC, op="syscall", inputs=(1, 42))])
+        assert check_candidate(builder) == REASON_SYSCALL
+
+    def test_too_short(self):
+        builder = _fed([_alu(PC)])
+        assert check_candidate(builder) == REASON_TOO_SHORT
+
+    def test_min_len_configurable(self):
+        builder = _fed([_alu(PC)])
+        assert check_candidate(builder, SafetyPolicy(min_len=1)) is None
+
+    def test_too_long(self):
+        builder = _fed([_alu(PC + 4 * i) for i in range(3)], max_len=2)
+        assert check_candidate(builder) == REASON_TOO_LONG
+
+    def test_strict_policy_rejects_global_live_in(self):
+        builder = _fed([_alu(PC), _load(PC + 4, DATA_BASE)])
+        assert check_candidate(builder) is None
+        strict = SafetyPolicy(allow_memory_live_ins=False)
+        assert check_candidate(builder, strict) == REASON_IMPLICIT_INPUT
+
+    def test_strict_policy_admits_stack_live_in(self):
+        # Stack loads are explicit inputs in the paper's §5.2 sense.
+        builder = _fed([_alu(PC), _load(PC + 4, STACK_TOP - 64)])
+        strict = SafetyPolicy(allow_memory_live_ins=False)
+        assert check_candidate(builder, strict) is None
