@@ -1,5 +1,15 @@
 """Experiment harness: suite runner, per-table/figure registry, CLI."""
 
+# faults/failures first: cache and runner import them at module load,
+# so they must be fully initialized before the rest of the package.
+from repro.harness.faults import FaultInjected, FaultPlan
+from repro.harness.failures import (
+    FailureRecord,
+    RecoveryPolicy,
+    SuiteReport,
+    WorkloadTimeout,
+    result_digest,
+)
 from repro.harness.cache import CACHE_FORMAT_VERSION, ResultCache
 from repro.harness.experiments import EXPERIMENT_ORDER, EXPERIMENTS, Experiment
 from repro.harness.parallel import run_suite_parallel
@@ -18,11 +28,18 @@ __all__ = [
     "EXPERIMENTS",
     "EXPERIMENT_ORDER",
     "Experiment",
+    "FailureRecord",
+    "FaultInjected",
+    "FaultPlan",
+    "RecoveryPolicy",
     "ResultCache",
     "SuiteConfig",
+    "SuiteReport",
     "WorkloadResult",
+    "WorkloadTimeout",
     "cache_directory",
     "clear_cache",
+    "result_digest",
     "run_suite",
     "run_suite_parallel",
     "run_workload",

@@ -29,6 +29,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Optional
 
+from repro.harness import faults as _faults
 from repro.obs import metrics as obs_metrics
 
 logger = logging.getLogger("repro.harness.cache")
@@ -38,7 +39,10 @@ logger = logging.getLogger("repro.harness.cache")
 #: eviction/occupancy telemetry fields.
 #: v3: WorkloadResult gained the trace_reuse report (Table 10T) and
 #: SuiteConfig the trace-table geometry knobs.
-CACHE_FORMAT_VERSION = 3
+#: v4: RunManifest gained recovery provenance (degraded / attempts /
+#: failures) and SuiteConfig the fault_plan knob — degraded or faulted
+#: results must never be served against pre-recovery keys.
+CACHE_FORMAT_VERSION = 4
 
 #: Environment variable that opts experiment runs into disk caching.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -120,12 +124,23 @@ class ResultCache:
         return result
 
     def store(self, workload_name: str, config: object, result: object) -> None:
+        """Atomically persist ``result`` (temp file + ``os.replace``).
+
+        A writer killed at any point — including via the
+        ``cache.torn_write`` fault site, which aborts after the pickle
+        but before the rename — leaves either the previous entry or no
+        entry, never a torn one.
+        """
         path = self.path_for(workload_name, config)
         fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
                 written = handle.tell()
+                if _faults.armed():
+                    _faults.check("cache.torn_write", workload_name)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
             registry = obs_metrics.REGISTRY
             registry.inc("cache.disk.stores")
@@ -136,6 +151,11 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if _faults.armed() and _faults.should_fire("cache.corrupt", workload_name):
+            # Simulate on-disk rot: scribble over the committed entry so
+            # the next load takes the corrupt-eviction path.
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)] + b"\xde\xad")
 
     def clear(self) -> None:
         """Remove every cached entry (leaves the directory in place)."""

@@ -30,6 +30,7 @@ from typing import List, Optional
 
 from repro.harness.cache import source_digest
 from repro.harness.experiments import EXPERIMENT_ORDER, EXPERIMENTS
+from repro.harness.failures import RecoveryPolicy
 from repro.harness.runner import SuiteConfig, run_suite, set_cache_dir
 from repro.obs import manifest as obs_manifest
 from repro.obs import metrics as obs_metrics
@@ -133,6 +134,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Chrome trace-event JSON (chrome://tracing, Perfetto)",
     )
+    parser.add_argument(
+        "--strict",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="--no-strict keeps going on workload failures and reports "
+        "partial results (exit code 3 when anything failed)",
+    )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="per-workload wall-clock budget in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry budget for transient workload failures (default 2)",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help="fault-injection plan, e.g. 'worker.crash:go' "
+        "(see repro.harness.faults; also $REPRO_FAULTS)",
+    )
     return parser
 
 
@@ -169,8 +196,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace_capacity=args.trace_capacity,
         trace_ways=args.trace_ways,
         trace_max_len=args.trace_max_len,
+        fault_plan=args.faults,
     )
     names = args.workloads.split(",") if args.workloads else None
+    policy = RecoveryPolicy(
+        strict=args.strict, retries=args.retries, timeout_s=args.timeout_s
+    )
 
     # Telemetry is process-global and opt-in; arm it for the run and
     # restore the previous state afterwards so embedding callers (and
@@ -187,12 +218,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs_tracing.install_tracer(tracer)
     try:
         started = time.time()
-        results = run_suite(config, names, jobs=args.jobs, profile=args.profile)
+        results = run_suite(
+            config, names, jobs=args.jobs, profile=args.profile, policy=policy
+        )
         elapsed = time.time() - started
         total = sum(r.run.analyzed_instructions for r in results.values())
         print(
             f"# suite: {len(results)} workloads, {total:,} instructions, {elapsed:.1f}s\n"
         )
+        failures = getattr(results, "failures", {})
+        if failures:
+            print(f"== failures ({len(failures)}) ==")
+            for name, record in failures.items():
+                print(
+                    f"{name:10s} {record.kind:13s} attempts={record.attempts} "
+                    f"engine={record.engine}"
+                    + (" [injected]" if record.injected else "")
+                    + f" — {record.message}"
+                )
+            print()
         for exp_id in exp_ids:
             exp = EXPERIMENTS[exp_id]
             print(f"== {exp.paper_ref}: {exp.title} [{exp_id}] ==")
@@ -206,6 +250,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             source_digest(),
             timing=phase_timing,
             elapsed_seconds=elapsed,
+            failures=failures,
         )
         if args.metrics_out:
             with open(args.metrics_out, "w") as handle:
@@ -229,7 +274,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.analysis.report import build_markdown_report
 
             with open(args.markdown, "w") as handle:
-                handle.write(build_markdown_report(results, exp_ids))
+                handle.write(build_markdown_report(results, exp_ids, failures=failures))
             manifest_path = f"{args.markdown}.manifest.json"
             obs_manifest.write_manifest(manifest, manifest_path)
             print(
@@ -241,7 +286,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if armed_metrics:
             obs_metrics.disable()
             registry.reset()
-    return 0
+    # Partial (non-strict) completion: artifacts were written, but the
+    # run must not look clean to scripts and CI.
+    return 3 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

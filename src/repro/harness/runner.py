@@ -18,9 +18,11 @@ any worker is spawned.
 
 from __future__ import annotations
 
+import dataclasses
+import logging
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.function_analysis import FunctionAnalysisReport, FunctionAnalyzer
 from repro.core.global_analysis import GlobalAnalysisReport, GlobalSourceAnalyzer
@@ -28,7 +30,19 @@ from repro.core.local_analysis import LocalAnalysisReport, LocalAnalyzer
 from repro.core.repetition import RepetitionReport, RepetitionTracker
 from repro.core.reuse_buffer import ReuseBuffer, ReuseBufferReport
 from repro.core.value_profile import GlobalLoadValueProfiler, ValueProfileReport
+from repro.harness import faults
 from repro.harness.cache import ResultCache, default_cache_dir, source_digest
+from repro.harness.failures import (
+    FailureRecord,
+    RecoveryPolicy,
+    SuiteReport,
+    Watchdog,
+    WorkloadTimeout,
+    classify_failure,
+    note_failure,
+    plan_next_action,
+    resolve_policy,
+)
 from repro.obs import metrics as obs_metrics
 from repro.obs import profiling as obs_profiling
 from repro.obs import tracing as obs_tracing
@@ -36,6 +50,11 @@ from repro.obs.manifest import RunManifest, build_workload_manifest
 from repro.sim.simulator import DEFAULT_ENGINE, RunResult, Simulator
 from repro.traces.analyzer import TraceReuseAnalyzer, TraceReuseReport
 from repro.workloads import WORKLOAD_ORDER, Workload, get_workload
+
+logger = logging.getLogger("repro.harness.runner")
+
+#: Engine the recovery loop degrades to when a faster engine traps.
+REFERENCE_ENGINE = "interpreter"
 
 
 @dataclass(frozen=True)
@@ -60,6 +79,10 @@ class SuiteConfig:
     trace_capacity: int = 1024
     trace_ways: int = 4
     trace_max_len: int = 16
+    #: Fault-injection plan (spec string, see :mod:`repro.harness.faults`).
+    #: Part of the config — and therefore the cache key — on purpose:
+    #: faulted runs can never serve or poison clean cache entries.
+    fault_plan: Optional[str] = None
 
     def input_for(self, workload: Workload) -> bytes:
         if self.input_kind == "primary":
@@ -145,35 +168,64 @@ def cached_result(
 def install_result(
     result: WorkloadResult, config: SuiteConfig, to_disk: bool = True
 ) -> None:
-    """Install an externally computed result into the cache layers."""
+    """Install an externally computed result into the cache layers.
+
+    A failed disk store (full disk, permissions, an injected torn
+    write) never loses the computed result: the in-memory layer already
+    holds it, so the error is logged and counted, not raised.
+    """
     _CACHE[(result.workload.name, config)] = result
     if to_disk:
         disk = _disk_cache()
         if disk is not None:
-            disk.store(result.workload.name, config, result)
+            try:
+                disk.store(result.workload.name, config, result)
+            except Exception as exc:
+                obs_metrics.REGISTRY.inc("cache.disk.store_errors")
+                logger.warning(
+                    "persistent-cache store failed for %s (%s: %s)",
+                    result.workload.name,
+                    type(exc).__name__,
+                    exc,
+                )
 
 
 def run_workload(
     workload: Workload,
     config: SuiteConfig = SuiteConfig(),
     profile: bool = False,
+    deadline_s: Optional[float] = None,
 ) -> WorkloadResult:
     """Run one workload under the full analyzer stack (cached).
 
     ``profile=True`` wraps every analyzer in a per-hook timing proxy
     (:mod:`repro.obs.profiling`); the measured attribution lands in the
     metrics registry under ``profile.<Analyzer>.<hook>``.
+
+    ``deadline_s`` arms a wall-clock watchdog that pauses the simulator
+    at an instruction boundary and raises :class:`WorkloadTimeout`.
     """
     cached = cached_result(workload, config)
     if cached is not None:
         return cached
+    with faults.armed_plan(config.fault_plan), faults.scope(workload=workload.name):
+        return _compute_workload(workload, config, profile, deadline_s)
 
+
+def _compute_workload(
+    workload: Workload,
+    config: SuiteConfig,
+    profile: bool,
+    deadline_s: Optional[float],
+) -> WorkloadResult:
     registry = obs_metrics.REGISTRY
     registry.inc("cache.misses")
     started = time.perf_counter()
     timing: Dict[str, float] = {}
 
     with obs_tracing.span("assemble", workload=workload.name):
+        if faults.armed():
+            faults.check("asm.error", workload.name)
         program = workload.program()
     timing["assemble"] = time.perf_counter() - started
 
@@ -206,7 +258,17 @@ def run_workload(
         engine=config.engine,
     )
     phase_start = time.perf_counter()
-    run = simulator.run(limit=config.limit_instructions, skip=config.skip_instructions)
+    if deadline_s is not None:
+        with Watchdog(simulator, deadline_s) as watchdog:
+            run = simulator.run(
+                limit=config.limit_instructions, skip=config.skip_instructions
+            )
+        if watchdog.fired and run.stop_reason == "paused":
+            raise WorkloadTimeout(workload.name, deadline_s, config.engine)
+    else:
+        run = simulator.run(
+            limit=config.limit_instructions, skip=config.skip_instructions
+        )
     timing["simulate"] = time.perf_counter() - phase_start
 
     def _report(analyzer):
@@ -243,27 +305,141 @@ def run_workload(
     return result
 
 
+def _annotate_result(
+    result: WorkloadResult,
+    history: List[FailureRecord],
+    attempts: int,
+    degraded_from: Optional[str] = None,
+) -> WorkloadResult:
+    """A copy of ``result`` whose manifest records its recovery story.
+
+    Copies (``dataclasses.replace``) so the cache layers keep the
+    pristine object: a degraded interpreter result is a perfectly clean
+    cache entry *for the interpreter config* — only the caller that
+    asked for predecode sees the degradation flag.
+    """
+    if result.manifest is None:
+        return result
+    manifest = dataclasses.replace(
+        result.manifest,
+        degraded=degraded_from is not None,
+        degraded_from=degraded_from,
+        attempts=attempts,
+        failures=[record.to_dict() for record in history],
+    )
+    return dataclasses.replace(result, manifest=manifest)
+
+
+def run_workload_recovering(
+    workload: Workload,
+    config: SuiteConfig,
+    policy: RecoveryPolicy,
+    profile: bool = False,
+) -> Tuple[Optional[WorkloadResult], List[FailureRecord]]:
+    """Run one workload under the recovery policy (serial path).
+
+    Returns ``(result, failed_attempts)``; ``result`` is ``None`` when
+    every attempt failed (the last record in the history is terminal).
+    With ``policy.strict`` the first failure re-raises instead.
+    """
+    registry = obs_metrics.REGISTRY
+    history: List[FailureRecord] = []
+    attempt = 1
+    run_config = config
+    degraded_from: Optional[str] = None
+    while True:
+        try:
+            with faults.scope(workload=workload.name, attempt=attempt):
+                result = run_workload(
+                    workload, run_config, profile=profile, deadline_s=policy.timeout_s
+                )
+        except Exception as exc:
+            record = classify_failure(
+                exc, workload=workload.name, engine=run_config.engine, attempt=attempt
+            )
+            history.append(record)
+            note_failure(record)
+            if policy.strict:
+                raise
+            action = plan_next_action(
+                record,
+                engine=run_config.engine,
+                degraded=degraded_from is not None,
+                attempt=attempt,
+                retries=policy.retries,
+                # A serial timeout is deterministic: the same workload
+                # would burn the same wall clock again.
+                transient_timeouts=False,
+            )
+            if action == "degrade":
+                registry.inc("degrade.engine_fallback")
+                logger.warning(
+                    "workload %s failed on engine %s (%s); degrading to %s",
+                    workload.name,
+                    run_config.engine,
+                    record.message,
+                    REFERENCE_ENGINE,
+                )
+                degraded_from = run_config.engine
+                run_config = dataclasses.replace(run_config, engine=REFERENCE_ENGINE)
+                attempt += 1
+                continue
+            if action == "retry":
+                registry.inc("retry.attempts")
+                time.sleep(policy.backoff_seconds(workload.name, attempt))
+                attempt += 1
+                continue
+            return None, history
+        if history or degraded_from is not None:
+            result = _annotate_result(result, history, attempt, degraded_from)
+        return result, history
+
+
 def run_suite(
     config: SuiteConfig = SuiteConfig(),
     names: Optional[Iterable[str]] = None,
     jobs: int = 1,
     profile: bool = False,
-) -> Dict[str, WorkloadResult]:
+    policy: Optional[RecoveryPolicy] = None,
+    strict: Optional[bool] = None,
+    retries: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+) -> SuiteReport:
     """Run the whole suite (or ``names``) and return results in order.
 
     ``jobs > 1`` fans uncached workloads out over a process pool; worker
     metrics snapshots are merged into this process's registry, so the
     aggregate telemetry is the same as a serial run's.
+
+    The return value is a :class:`SuiteReport` — a dict of surviving
+    ``WorkloadResult`` in suite order, plus ``failures``/``history``.
+    Under the default strict policy the first error still raises, so
+    existing callers see exactly the historical behaviour.
     """
+    if not isinstance(jobs, int) or jobs < 1:
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
     selected = tuple(names) if names is not None else WORKLOAD_ORDER
+    effective = resolve_policy(policy, strict, retries, timeout_s)
     if jobs > 1:
         from repro.harness.parallel import run_suite_parallel
 
-        return run_suite_parallel(config, selected, jobs=jobs, profile=profile)
-    return {
-        name: run_workload(get_workload(name), config, profile=profile)
-        for name in selected
-    }
+        return run_suite_parallel(
+            config, selected, jobs=jobs, profile=profile, policy=effective
+        )
+    report = SuiteReport(config=config)
+    registry = obs_metrics.REGISTRY
+    with faults.armed_plan(config.fault_plan):
+        for name in selected:
+            result, failed = run_workload_recovering(
+                get_workload(name), config, effective, profile=profile
+            )
+            report.history.extend(failed)
+            if result is not None:
+                report[name] = result
+            else:
+                report.failures[name] = failed[-1]
+                registry.inc("suite.partial_failures")
+    return report
 
 
 def clear_cache() -> None:

@@ -24,10 +24,12 @@ import platform
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 #: Manifest schema version (bump on incompatible layout changes).
-MANIFEST_SCHEMA = 1
+#: v2: recovery provenance (degraded / degraded_from / attempts /
+#: failures) for fault-tolerant suite runs.
+MANIFEST_SCHEMA = 2
 
 #: Cache dispositions a result can carry.
 DISPOSITIONS = ("computed", "memory-hit", "disk-hit")
@@ -58,6 +60,14 @@ class RunManifest:
     timing: Dict[str, float] = field(default_factory=dict)
     package_version: str = field(default_factory=_package_version)
     schema: int = MANIFEST_SCHEMA
+    #: Recovery provenance: True when this result came from an engine
+    #: fallback (``degraded_from`` names the engine that failed).
+    degraded: bool = False
+    degraded_from: Optional[str] = None
+    #: How many attempts the recovery loop made to produce this result.
+    attempts: int = 1
+    #: FailureRecord dicts for the failed attempts that preceded it.
+    failures: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -86,8 +96,13 @@ def build_suite_manifest(
     source_digest: str,
     timing: Optional[Dict[str, float]] = None,
     elapsed_seconds: Optional[float] = None,
+    failures: Optional[Dict[str, object]] = None,
 ) -> dict:
-    """Aggregate manifest for a whole suite run (JSON-ready dict)."""
+    """Aggregate manifest for a whole suite run (JSON-ready dict).
+
+    ``failures`` maps workload name -> terminal FailureRecord (or its
+    dict form) for non-strict runs that completed partially.
+    """
     workloads: Dict[str, dict] = {}
     dispositions: Dict[str, int] = {}
     for name, result in results.items():
@@ -98,6 +113,11 @@ def build_suite_manifest(
         else:  # pre-telemetry cache entries carry no manifest
             workloads[name] = {"workload": name, "cache": "unknown"}
             dispositions["unknown"] = dispositions.get("unknown", 0) + 1
+    failure_dicts: Dict[str, dict] = {}
+    for name, record in (failures or {}).items():
+        failure_dicts[name] = (
+            record.to_dict() if hasattr(record, "to_dict") else dict(record)
+        )
     return {
         "schema": MANIFEST_SCHEMA,
         "kind": "suite",
@@ -112,6 +132,8 @@ def build_suite_manifest(
         "timing": dict(timing or {}),
         "elapsed_seconds": elapsed_seconds,
         "workloads": workloads,
+        "failures": failure_dicts,
+        "partial": bool(failure_dicts),
     }
 
 

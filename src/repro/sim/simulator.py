@@ -221,6 +221,19 @@ class Simulator:
         self._limit = limit
         self._skip = skip
 
+        # Engine fault sites fire before any analyzer state is touched,
+        # so a failed attempt pollutes nothing the retry would reuse.
+        # Lazy import: repro.harness imports this module at load time.
+        from repro.harness import faults as _faults
+
+        if _faults.armed():
+            site = (
+                "engine.interp_raise"
+                if self._engine == "interpreter"
+                else "engine.predecode_raise"
+            )
+            _faults.check(site)
+
         program = self.program
         self._step_hooks = _hooks_for(self._analyzers, "on_step")
         self._call_hooks = _hooks_for(self._analyzers, "on_call")
@@ -259,9 +272,17 @@ class Simulator:
         return self._execute()
 
     def _execute(self) -> RunResult:
-        if self._engine == "interpreter":
-            return self._execute_interpreter()
-        return self._execute_predecoded()
+        try:
+            if self._engine == "interpreter":
+                return self._execute_interpreter()
+            return self._execute_predecoded()
+        except SimError as exc:
+            # Annotate escaping traps so failure records can say which
+            # engine died and how far it got.
+            exc.engine = self._engine
+            exc.retired_total = self._total
+            exc.retired_analyzed = self._analyzed
+            raise
 
     # ------------------------------------------------------------------
     # Predecoded engine

@@ -65,6 +65,73 @@ class TestPerfFlags:
             set_cache_dir(None)
 
 
+class TestRobustnessFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.strict is True
+        assert args.retries == 2
+        assert args.timeout_s is None
+        assert args.faults is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "table1",
+                "--no-strict",
+                "--retries",
+                "5",
+                "--timeout-s",
+                "2.5",
+                "--faults",
+                "worker.crash:go",
+            ]
+        )
+        assert args.strict is False
+        assert args.retries == 5
+        assert args.timeout_s == 2.5
+        assert args.faults == "worker.crash:go"
+
+    def test_non_strict_faulted_run_exits_3_with_artifacts(self, capsys, tmp_path):
+        """A partial run still writes the markdown + manifest, flags the
+        failures in both, and exits non-zero."""
+        markdown = tmp_path / "report.md"
+        code = main(
+            [
+                "table1",
+                "--workloads",
+                "compress,go",
+                "--no-strict",
+                "--faults",
+                "asm.error:go",
+                "--markdown",
+                str(markdown),
+            ]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "== failures (1) ==" in out
+        text = markdown.read_text()
+        assert "## Failures" in text
+        assert "compile-error" in text and "go" in text
+        import json
+
+        manifest = json.loads((tmp_path / "report.md.manifest.json").read_text())
+        assert manifest["partial"] is True
+        assert manifest["failures"]["go"]["kind"] == "compile-error"
+
+    def test_strict_faulted_run_raises(self):
+        from repro.asm.errors import AsmError
+
+        with pytest.raises(AsmError):
+            main(["table1", "--workloads", "go", "--faults", "asm.error:go"])
+
+    def test_clean_run_with_flags_exits_0(self, capsys):
+        code = main(
+            ["table2", "--workloads", "compress", "--no-strict", "--retries", "1"]
+        )
+        assert code == 0
+
+
 class TestMain:
     def test_list(self, capsys):
         assert main(["--list"]) == 0
